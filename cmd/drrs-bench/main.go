@@ -1,0 +1,101 @@
+// Command drrs-bench regenerates the paper's evaluation figures and tables
+// on the simulated engine.
+//
+// Usage:
+//
+//	drrs-bench -experiment all
+//	drrs-bench -experiment fig10 -workload q7
+//	drrs-bench -experiment fig15 -seeds 1
+//
+// Experiments: fig2, fig10 (also emits Figs 11–13 from the same runs),
+// fig14, fig15, all. Workloads for fig10: q7, q8, twitch, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"drrs/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig2 | fig10 | fig14 | fig15 | ablation | all")
+	workloadName := flag.String("workload", "all", "q7 | q8 | twitch | all (fig10 only)")
+	seeds := flag.Int("seeds", 3, "number of repeated runs per configuration")
+	baseSeed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	var seedList []int64
+	for i := 0; i < *seeds; i++ {
+		seedList = append(seedList, *baseSeed+int64(i))
+	}
+
+	run := func(name string, fn func() bench.FigureResult) {
+		t0 := time.Now()
+		res := fn()
+		fmt.Printf("==== %s (wall %v) ====\n%s\n", res.Title, time.Since(t0).Round(time.Millisecond), res.Text)
+	}
+
+	switch *experiment {
+	case "fig2":
+		run("fig2", func() bench.FigureResult { return bench.Fig2(seedList) })
+	case "fig10":
+		for _, wl := range workloads(*workloadName) {
+			wl := wl
+			run(wl, func() bench.FigureResult { return bench.HeadToHead(wl, seedList) })
+		}
+	case "fig14":
+		run("fig14", func() bench.FigureResult { return bench.Fig14(seedList) })
+	case "fig15":
+		run("fig15", func() bench.FigureResult {
+			_, res := bench.Fig15(*baseSeed,
+				[]float64{6000, 10000, 12000},
+				[]int{5 << 20, 15 << 20, 30 << 20},
+				[]float64{0, 0.5, 1.0, 1.5},
+				nil)
+			return res
+		})
+	case "ablation":
+		run("ablation", func() bench.FigureResult { return ablation(*baseSeed) })
+	case "all":
+		run("fig2", func() bench.FigureResult { return bench.Fig2(seedList) })
+		for _, wl := range []string{"q7", "q8", "twitch"} {
+			wl := wl
+			run(wl, func() bench.FigureResult { return bench.HeadToHead(wl, seedList) })
+		}
+		run("fig14", func() bench.FigureResult { return bench.Fig14(seedList) })
+		run("fig15", func() bench.FigureResult {
+			_, res := bench.Fig15(*baseSeed,
+				[]float64{6000, 10000, 12000},
+				[]int{5 << 20, 15 << 20, 30 << 20},
+				[]float64{0, 0.5, 1.0, 1.5},
+				nil)
+			return res
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+// ablation runs the design-choice sweeps DESIGN.md calls out (beyond the
+// paper's Fig 14): subscale granularity, Record Scheduling buffer depth,
+// node concurrency, and Megaphone's batch size.
+func ablation(seed int64) bench.FigureResult {
+	var b []string
+	b = append(b, bench.FormatSweep("DRRS subscale size (Twitch)", bench.SweepSubscaleSize(seed, []int{1, 4, 8, 32, 128})))
+	b = append(b, bench.FormatSweep("DRRS record-scheduling buffer depth (Twitch)", bench.SweepBufferDepth(seed, []int{1, 20, 200})))
+	b = append(b, bench.FormatSweep("DRRS node concurrency (sensitivity cluster)", bench.SweepNodeConcurrency(seed, []int{1, 2, 4})))
+	b = append(b, bench.FormatSweep("Megaphone batch size (Twitch)", bench.SweepMegaphoneBatch(seed, []int{1, 4, 16, 111})))
+	return bench.FigureResult{Title: "ablation", Text: strings.Join(b, "\n")}
+}
+
+func workloads(name string) []string {
+	if name == "all" {
+		return []string{"q7", "q8", "twitch"}
+	}
+	return []string{name}
+}

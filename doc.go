@@ -1,0 +1,25 @@
+// Package drrs is a from-scratch Go reproduction of "Towards Fine-Grained
+// Scalability for Stateful Stream Processing Systems" (Qing & Zheng, ICDE
+// 2025): the DRRS on-the-fly rescaling mechanism — Decoupling & Re-routing,
+// Record Scheduling, and Subscale Division — together with the entire
+// substrate it needs (a deterministic discrete-event stream-processing
+// engine modelled on Apache Flink), every baseline the paper compares
+// against (generalized OTFS, Megaphone, Meces, Stop-Checkpoint-Restart, and
+// the Unbound diagnostic), the three evaluation workloads (NEXMark Q7/Q8,
+// a synthetic Twitch loyalty pipeline, and the configurable custom job), and
+// a benchmark harness that regenerates every figure and table of the paper's
+// evaluation.
+//
+// Layout:
+//
+//	internal/core       DRRS itself (the paper's contribution)
+//	internal/engine     the simulated stream processing engine
+//	internal/scaling    the mechanism framework and the baselines
+//	internal/bench      the figure/table regeneration harness
+//	cmd/drrs-bench      regenerate the paper's figures
+//	cmd/drrs-sim        run one workload + mechanism and print a report
+//	examples/           runnable walkthroughs
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package drrs

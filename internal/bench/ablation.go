@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"drrs/internal/core"
+	"drrs/internal/scaling/megaphone"
+	"drrs/internal/simtime"
+)
+
+// This file holds the design-choice ablations DESIGN.md calls out beyond the
+// paper's Fig 14: how sensitive DRRS is to its own tuning knobs, and how
+// sensitive Megaphone is to its reconfiguration batch size. None of these
+// are paper figures; they answer the "why these defaults?" questions a
+// downstream user will ask.
+
+// SweepPoint is one configuration's outcome in a knob sweep.
+type SweepPoint struct {
+	Label        string
+	PeakMs       float64
+	AvgMs        float64
+	ScalingSec   float64
+	SuspMs       float64
+	PropMs       float64
+	MaxActive    int
+	MigrationSec float64
+}
+
+func sweepRun(sc Scenario, mech interface {
+	Name() string
+}, o Outcome) SweepPoint {
+	p := SweepPoint{
+		Label:        mech.Name(),
+		PeakMs:       o.PeakIn(o.ScaleAt, o.EndAt),
+		AvgMs:        o.AvgIn(o.ScaleAt, o.EndAt),
+		ScalingSec:   o.ScalingPeriod().Seconds(),
+		SuspMs:       o.Scale.CumulativeSuspension().Millis(),
+		PropMs:       o.Scale.CumulativePropagationDelay().Millis(),
+		MigrationSec: o.Scale.MigrationDuration().Seconds(),
+	}
+	return p
+}
+
+// SweepSubscaleSize runs full DRRS on the Twitch scenario with varying
+// subscale granularity (key groups per subscale). The paper's default is
+// small subscales; degenerate settings recover DR-only behaviour (one giant
+// subscale) or pure per-group scheduling (size 1).
+func SweepSubscaleSize(seed int64, sizes []int) []SweepPoint {
+	var out []SweepPoint
+	for _, size := range sizes {
+		opt := core.FullDRRS()
+		opt.SubscaleKGs = size
+		mech := core.New(opt)
+		o := TwitchScenario(seed).Run(mech)
+		p := sweepRun(TwitchScenario(seed), mech, o)
+		p.Label = fmt.Sprintf("subscale=%d", size)
+		p.MaxActive = mech.MaxActive
+		out = append(out, p)
+	}
+	return out
+}
+
+// SweepBufferDepth varies Record Scheduling's intra-channel buffer (the
+// paper fixes 200 records ≈ 200 KB per scaling instance).
+func SweepBufferDepth(seed int64, depths []int) []SweepPoint {
+	var out []SweepPoint
+	for _, d := range depths {
+		opt := core.FullDRRS()
+		opt.BufferDepth = d
+		mech := core.New(opt)
+		o := TwitchScenario(seed).Run(mech)
+		p := sweepRun(TwitchScenario(seed), mech, o)
+		p.Label = fmt.Sprintf("depth=%d", d)
+		out = append(out, p)
+	}
+	return out
+}
+
+// SweepNodeConcurrency varies the subscale scheduler's per-node concurrency
+// threshold (the paper fixes 2 "to avoid potential resource contention") on
+// the 4-node sensitivity cluster, where it actually binds.
+func SweepNodeConcurrency(seed int64, limits []int) []SweepPoint {
+	var out []SweepPoint
+	for _, l := range limits {
+		opt := core.FullDRRS()
+		opt.NodeConcurrency = l
+		mech := core.New(opt)
+		sc := SensitivityScenario(seed, 8000, 15<<20, 0.5)
+		o := sc.Run(mech)
+		p := sweepRun(sc, mech, o)
+		p.Label = fmt.Sprintf("conc=%d", l)
+		p.MaxActive = mech.MaxActive
+		out = append(out, p)
+	}
+	return out
+}
+
+// SweepMegaphoneBatch varies Megaphone's reconfiguration bin size: its
+// fundamental trade-off between suspension (grows with batch) and scaling
+// duration / propagation (shrink with batch).
+func SweepMegaphoneBatch(seed int64, batches []int) []SweepPoint {
+	var out []SweepPoint
+	for _, b := range batches {
+		mech := &megaphone.Mechanism{BatchKGs: b}
+		o := TwitchScenario(seed).Run(mech)
+		p := sweepRun(TwitchScenario(seed), mech, o)
+		p.Label = fmt.Sprintf("batch=%d", b)
+		out = append(out, p)
+	}
+	return out
+}
+
+// FormatSweep renders sweep points as a table.
+func FormatSweep(title string, pts []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %12s %12s %12s\n",
+		"", "peak(ms)", "avg(ms)", "scaling(s)", "susp(ms)", "prop(ms)", "migration(s)")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-14s %10.1f %10.1f %10.2f %12.1f %12.1f %12.2f\n",
+			p.Label, p.PeakMs, p.AvgMs, p.ScalingSec, p.SuspMs, p.PropMs, p.MigrationSec)
+	}
+	return b.String()
+}
+
+// Sparkline renders a latency timeline as a compact ASCII strip for the
+// figure reporters (the closest a terminal gets to the paper's plots).
+func Sparkline(o Outcome, bucket simtime.Duration, from, to simtime.Time) string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	pts := o.Latency.Series.Downsample(bucket)
+	var max float64
+	var vals []float64
+	for _, p := range pts {
+		if p.At < from || p.At >= to {
+			continue
+		}
+		vals = append(vals, p.V)
+		if p.V > max {
+			max = p.V
+		}
+	}
+	if max == 0 || len(vals) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := int(v / max * float64(len(levels)-1))
+		b.WriteRune(levels[idx])
+	}
+	fmt.Fprintf(&b, "  (max %.0fms)", max)
+	return b.String()
+}

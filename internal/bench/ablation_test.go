@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepMegaphoneBatchTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep simulates several runs")
+	}
+	pts := SweepMegaphoneBatch(1, []int{1, 16, 111})
+	// Megaphone's fundamental trade-off: larger bins migrate faster and
+	// propagate less…
+	if !(pts[0].MigrationSec > pts[1].MigrationSec && pts[1].MigrationSec > pts[2].MigrationSec) {
+		t.Fatalf("migration time should fall with batch size: %+v", pts)
+	}
+	if !(pts[0].PropMs > pts[1].PropMs && pts[1].PropMs > pts[2].PropMs) {
+		t.Fatalf("propagation should fall with batch size: %+v", pts)
+	}
+	// …and the fine-grained end pays for it in peak latency on a loaded
+	// pipeline (every round's alignment stalls the operator again).
+	if pts[0].PeakMs <= pts[2].PeakMs {
+		t.Fatalf("batch=1 peak %.1f should exceed batch=111 peak %.1f", pts[0].PeakMs, pts[2].PeakMs)
+	}
+}
+
+func TestSweepSubscaleSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep simulates several runs")
+	}
+	pts := SweepSubscaleSize(1, []int{1, 8, 128})
+	// One-group subscales pay per-subscale signal cost: cumulative
+	// propagation must exceed the default's.
+	if pts[0].PropMs <= pts[1].PropMs {
+		t.Fatalf("subscale=1 propagation %.1f should exceed subscale=8's %.1f",
+			pts[0].PropMs, pts[1].PropMs)
+	}
+	// All settings stay within a sane latency envelope — subscale size is a
+	// scheduling knob, not a correctness or stability cliff.
+	for _, p := range pts {
+		if p.PeakMs > 10*pts[1].PeakMs {
+			t.Fatalf("setting %s destabilized latency: %+v", p.Label, p)
+		}
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	out := FormatSweep("title", []SweepPoint{{Label: "x", PeakMs: 1}})
+	if !strings.Contains(out, "title") || !strings.Contains(out, "x") {
+		t.Fatalf("bad table: %s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	o := TwitchScenario(2).Run(nil)
+	sp := Sparkline(o, 1e6, 0, o.EndAt)
+	if sp == "" {
+		t.Fatal("empty sparkline from a populated run")
+	}
+	if !strings.Contains(sp, "max") {
+		t.Fatal("sparkline should annotate its max")
+	}
+}

@@ -1,0 +1,177 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section V): the motivation experiment
+// (Fig 2), the head-to-head comparison against Meces and Megaphone on
+// NEXMark Q7/Q8 and Twitch (Figs 10–13), the mechanism ablation (Fig 14),
+// and the cluster sensitivity grid (Fig 15).
+//
+// Everything runs in virtual time on the simulated engine, with rates,
+// windows, state sizes, and migration bandwidth scaled down together
+// (documented per scenario and in EXPERIMENTS.md). Absolute milliseconds are
+// not comparable to the paper's testbed; orderings and ratios are.
+package bench
+
+import (
+	"fmt"
+
+	"drrs/internal/cluster"
+	"drrs/internal/dataflow"
+	"drrs/internal/engine"
+	"drrs/internal/metrics"
+	"drrs/internal/scaling"
+	"drrs/internal/simtime"
+)
+
+// Scenario describes one job + one scaling operation, mechanism-agnostic.
+type Scenario struct {
+	// Name labels reports.
+	Name string
+	// Build constructs the job graph (and its sink) for a given seed.
+	Build func(seed int64) (*dataflow.Graph, *engine.CollectSink)
+	// ScaleOp is the operator being rescaled.
+	ScaleOp string
+	// NewParallelism is the post-scaling parallelism.
+	NewParallelism int
+	// Warmup is the steady-state period before the scaling request (the
+	// paper uses 300 s; scenarios scale it down).
+	Warmup simtime.Duration
+	// Measure is how long the run continues after the scaling request.
+	Measure simtime.Duration
+	// Setup models physical deployment time.
+	Setup simtime.Duration
+	// Engine overrides engine defaults.
+	Engine engine.Config
+	// Cluster builds the deployment; nil means one node with
+	// MigrationBandwidth bytes/s.
+	Cluster func(s *simtime.Scheduler) *cluster.Cluster
+	// MigrationBandwidth applies when Cluster is nil (default 4 MB/s — the
+	// paper's 1 Gbps scaled down with the state sizes).
+	MigrationBandwidth float64
+	// Seed drives the run.
+	Seed int64
+}
+
+// Outcome is everything measured from one run.
+type Outcome struct {
+	Mechanism string
+	// MechRef is the mechanism instance used (for mechanism-specific stats
+	// like Meces fetch counts).
+	MechRef scaling.Mechanism
+	Seed    int64
+	Done    bool
+
+	ScaleAt    simtime.Time
+	EndAt      simtime.Time
+	Latency    *metrics.LatencyTracker
+	Throughput *metrics.ThroughputTracker
+	Scale      *metrics.ScalingMetrics
+
+	// PreAvgMs is the average latency over the warmup (pre-scaling level).
+	PreAvgMs float64
+	// StabilizedAt is the end of the scaling period per the paper's rule
+	// (latency within 110% of the pre-scaling level for the hold window).
+	StabilizedAt simtime.Time
+	Stabilized   bool
+}
+
+// StabilityHold is the scaled-down version of the paper's 100-second rule.
+const StabilityHold = simtime.Duration(5 * simtime.Second)
+
+// Run executes the scenario under mech (nil = no scaling) and returns the
+// outcome after draining the pipeline. The scenario's Build must bound its
+// generators to Warmup+Measure (HorizonOf helps), or the drain would never
+// terminate.
+func (sc Scenario) Run(mech scaling.Mechanism) Outcome {
+	g, _ := sc.Build(sc.Seed)
+	s := simtime.NewScheduler()
+	var cl *cluster.Cluster
+	if sc.Cluster != nil {
+		cl = sc.Cluster(s)
+	} else {
+		cl = cluster.New(s)
+		bw := sc.MigrationBandwidth
+		if bw == 0 {
+			bw = 4 << 20
+		}
+		cl.Node("local").MigrationBandwidth = bw
+	}
+	cfg := sc.Engine
+	cfg.Seed = sc.Seed
+	rt := engine.New(s, g, cl, cfg)
+	rt.Start()
+
+	out := Outcome{Mechanism: "no-scale", MechRef: mech, Seed: sc.Seed, Done: true}
+	if mech != nil {
+		out.Mechanism = mech.Name()
+		out.Done = false
+		s.After(sc.Warmup, func() {
+			out.ScaleAt = s.Now()
+			plan := scaling.UniformPlan(g, sc.ScaleOp, sc.NewParallelism, sc.Setup)
+			mech.Start(rt, plan, func() { out.Done = true })
+		})
+	}
+	s.RunUntil(simtime.Time(sc.Warmup + sc.Measure))
+	rt.StopMarkers()
+	s.Run()
+
+	out.EndAt = s.Now()
+	out.Latency = rt.Latency
+	out.Throughput = rt.Throughput
+	out.Scale = rt.Scale
+	out.Scale.CloseAllSuspensions(s.Now())
+	out.PreAvgMs = rt.Latency.AvgIn(0, simtime.Time(sc.Warmup))
+	if mech != nil {
+		out.StabilizedAt, out.Stabilized = rt.Latency.StabilizesSmoothed(
+			simtime.Second, out.ScaleAt, out.PreAvgMs, 1.10, StabilityHold)
+	}
+	return out
+}
+
+// ScalingPeriod reports the paper's scaling period: request until latency
+// re-stabilization.
+func (o Outcome) ScalingPeriod() simtime.Duration {
+	if o.Mechanism == "no-scale" {
+		return 0
+	}
+	return o.StabilizedAt.Sub(o.ScaleAt)
+}
+
+// PeakIn / AvgIn report latency stats over [from, to) in ms.
+func (o Outcome) PeakIn(from, to simtime.Time) float64 { return o.Latency.PeakIn(from, to) }
+
+// AvgIn reports the average latency over [from, to) in ms.
+func (o Outcome) AvgIn(from, to simtime.Time) float64 { return o.Latency.AvgIn(from, to) }
+
+// Stat is a mean ± std pair over repeated runs.
+type Stat struct {
+	Mean, Std float64
+}
+
+func (s Stat) String() string { return fmt.Sprintf("%8.0f(±%6.0f)", s.Mean, s.Std) }
+
+// NewStat aggregates samples.
+func NewStat(samples []float64) Stat {
+	if len(samples) == 0 {
+		return Stat{}
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(len(samples))
+	var sq float64
+	for _, v := range samples {
+		sq += (v - mean) * (v - mean)
+	}
+	return Stat{Mean: mean, Std: sqrt(sq / float64(len(samples)))}
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}

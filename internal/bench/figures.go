@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drrs/internal/core"
+	"drrs/internal/scaling"
+	"drrs/internal/scaling/meces"
+	"drrs/internal/scaling/megaphone"
+	"drrs/internal/scaling/otfs"
+	"drrs/internal/scaling/unbound"
+	"drrs/internal/simtime"
+)
+
+// Mechanisms builds a fresh mechanism by report name (fresh per run: the
+// implementations carry per-operation state).
+func Mechanisms(name string) scaling.Mechanism {
+	switch name {
+	case "drrs":
+		return core.New(core.FullDRRS())
+	case "drrs-dr":
+		return core.New(core.Variant("dr"))
+	case "drrs-schedule":
+		return core.New(core.Variant("schedule"))
+	case "drrs-subscale":
+		return core.New(core.Variant("subscale"))
+	case "meces":
+		return &meces.Mechanism{}
+	case "megaphone":
+		// A batch of 4 key groups keeps the sequential-round signature while
+		// the scaled-down runs stay tractable.
+		return &megaphone.Mechanism{BatchKGs: 4}
+	case "otfs":
+		return &otfs.Mechanism{Fluid: true}
+	case "otfs-allatonce":
+		return &otfs.Mechanism{Fluid: false}
+	case "unbound":
+		return &unbound.Mechanism{}
+	case "no-scale":
+		return nil
+	default:
+		panic(fmt.Sprintf("bench: unknown mechanism %q", name))
+	}
+}
+
+// ScenarioByName builds a named main-track scenario.
+func ScenarioByName(name string, seed int64) Scenario {
+	switch name {
+	case "q7":
+		return Q7Scenario(seed)
+	case "q8":
+		return Q8Scenario(seed)
+	case "twitch":
+		return TwitchScenario(seed)
+	default:
+		panic(fmt.Sprintf("bench: unknown workload %q", name))
+	}
+}
+
+// FigureResult is one regenerated figure/table: paper-style text plus the
+// raw rows for programmatic checks.
+type FigureResult struct {
+	Title string
+	Text  string
+	// Rows maps a label ("drrs", "meces", …) to its headline numbers.
+	Rows map[string]Row
+}
+
+// Row is one mechanism's headline numbers for a figure.
+type Row struct {
+	PeakMs        Stat
+	AvgMs         Stat
+	ScalingSec    Stat
+	MigrationSec  Stat
+	PropDelayMs   Stat
+	DepOverheadMs Stat
+	SuspensionMs  Stat
+	ThroughputDev Stat
+}
+
+// measureWindow computes the common statistics window the paper uses: from
+// the scaling request to the longest observed scaling period among the
+// compared mechanisms.
+func measureWindow(outs map[string][]Outcome) (simtime.Time, simtime.Time) {
+	var from, to simtime.Time
+	first := true
+	for _, runs := range outs {
+		for _, o := range runs {
+			if o.Mechanism == "no-scale" {
+				continue
+			}
+			if first || o.ScaleAt < from {
+				from = o.ScaleAt
+				first = false
+			}
+			end := o.StabilizedAt
+			if !o.Stabilized || end > o.EndAt {
+				end = o.EndAt
+			}
+			if end > to {
+				to = end
+			}
+		}
+	}
+	return from, to
+}
+
+// compare runs one scenario under several mechanisms across seeds and
+// aggregates the paper's headline metrics.
+func compare(scenario func(int64) Scenario, mechs []string, seeds []int64) map[string][]Outcome {
+	outs := make(map[string][]Outcome)
+	for _, mech := range mechs {
+		for _, seed := range seeds {
+			sc := scenario(seed)
+			outs[mech] = append(outs[mech], sc.Run(Mechanisms(mech)))
+		}
+	}
+	return outs
+}
+
+func rowsFrom(outs map[string][]Outcome) map[string]Row {
+	from, to := measureWindow(outs)
+	rows := make(map[string]Row)
+	for mech, runs := range outs {
+		var peak, avg, dur, mig, prop, dep, susp []float64
+		for _, o := range runs {
+			peak = append(peak, o.PeakIn(from, to))
+			avg = append(avg, o.AvgIn(from, to))
+			dur = append(dur, o.ScalingPeriod().Seconds())
+			mig = append(mig, o.Scale.MigrationDuration().Seconds())
+			prop = append(prop, o.Scale.CumulativePropagationDelay().Millis())
+			dep = append(dep, o.Scale.AvgDependencyOverhead().Millis())
+			susp = append(susp, o.Scale.CumulativeSuspension().Millis())
+		}
+		rows[mech] = Row{
+			PeakMs:        NewStat(peak),
+			AvgMs:         NewStat(avg),
+			ScalingSec:    NewStat(dur),
+			MigrationSec:  NewStat(mig),
+			PropDelayMs:   NewStat(prop),
+			DepOverheadMs: NewStat(dep),
+			SuspensionMs:  NewStat(susp),
+		}
+	}
+	return rows
+}
+
+func sortedKeys(rows map[string]Row) []string {
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Fig2 regenerates the motivation experiment: Unbound vs OTFS (generalized
+// on-the-fly scaling with fluid migration) vs No Scale on the Twitch
+// workload under a fixed input rate.
+func Fig2(seeds []int64) FigureResult {
+	outs := compare(TwitchScenario, []string{"unbound", "otfs", "no-scale"}, seeds)
+	from, to := measureWindow(outs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 2 — Unbound vs OTFS vs No Scale (Twitch), window [%v, %v]\n", from, to)
+	fmt.Fprintf(&b, "%-10s %20s %20s\n", "", "Peak Latency(ms)", "Average Latency(ms)")
+	rows := make(map[string]Row)
+	for _, mech := range []string{"otfs", "unbound", "no-scale"} {
+		var peak, avg []float64
+		for _, o := range outs[mech] {
+			peak = append(peak, o.PeakIn(from, to))
+			avg = append(avg, o.AvgIn(from, to))
+		}
+		r := Row{PeakMs: NewStat(peak), AvgMs: NewStat(avg)}
+		rows[mech] = r
+		fmt.Fprintf(&b, "%-10s %20s %20s\n", mech, r.PeakMs, r.AvgMs)
+	}
+	return FigureResult{Title: "fig2", Text: b.String(), Rows: rows}
+}
+
+// HeadToHead runs the Fig 10–13 experiment set for one workload (q7, q8,
+// twitch) against Meces and Megaphone, producing all four figures' data from
+// the same runs, as the paper does.
+func HeadToHead(workloadName string, seeds []int64) FigureResult {
+	outs := compare(func(seed int64) Scenario { return ScenarioByName(workloadName, seed) },
+		[]string{"drrs", "meces", "megaphone"}, seeds)
+	rows := rowsFrom(outs)
+	from, to := measureWindow(outs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 10 (%s) — End-to-End Latency, window [%v, %v]\n", workloadName, from, to)
+	fmt.Fprintf(&b, "%-10s %20s %20s %16s %16s\n", "", "Peak(ms)", "Average(ms)", "Scaling(s)", "Migration(s)")
+	for _, mech := range []string{"drrs", "meces", "megaphone"} {
+		r := rows[mech]
+		fmt.Fprintf(&b, "%-10s %20s %20s %16s %16s\n", mech, r.PeakMs, r.AvgMs, r.ScalingSec, r.MigrationSec)
+	}
+	b.WriteString("\nlatency timelines (1 s means):\n")
+	for _, mech := range []string{"drrs", "meces", "megaphone"} {
+		fmt.Fprintf(&b, "%-10s %s\n", mech, Sparkline(outs[mech][0], simtime.Second, from, to))
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "Fig 11 (%s) — Throughput (records/s) timeline (1 s buckets, during scaling)\n", workloadName)
+	for _, mech := range []string{"drrs", "meces", "megaphone"} {
+		o := outs[mech][0]
+		pts := o.Throughput.Series().Slice(from, to)
+		fmt.Fprintf(&b, "%-10s", mech)
+		for i, p := range pts {
+			if i%2 == 0 { // compact
+				fmt.Fprintf(&b, " %6.0f", p.V)
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "Fig 12 (%s) — Cumulative Propagation Delay / Avg Dependency Overhead (ms)\n", workloadName)
+	fmt.Fprintf(&b, "%-10s %20s %20s\n", "", "Prop. Delay", "Dep. Overhead")
+	for _, mech := range []string{"drrs", "meces", "megaphone"} {
+		r := rows[mech]
+		fmt.Fprintf(&b, "%-10s %20s %20s\n", mech, r.PropDelayMs, r.DepOverheadMs)
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "Fig 13 (%s) — Cumulative Suspension Time (ms)\n", workloadName)
+	for _, mech := range []string{"drrs", "meces", "megaphone"} {
+		r := rows[mech]
+		fmt.Fprintf(&b, "%-10s %20s\n", mech, r.SuspensionMs)
+	}
+	if wl := workloadName; wl == "q7" {
+		// The paper's §V-B Meces statistic: sub-key-group re-fetch counts.
+		for _, o := range outs["meces"] {
+			if m, ok := o.MechRef.(*meces.Mechanism); ok {
+				mean, max := m.FetchStats()
+				fmt.Fprintf(&b, "\nMeces back-and-forth (Q7): mean %.2f transfers/sub-key-group, max %d\n", mean, max)
+				break
+			}
+		}
+	}
+	return FigureResult{Title: "fig10-13/" + workloadName, Text: b.String(), Rows: rows}
+}
+
+// Fig14 regenerates the ablation: full DRRS vs DR-only vs Schedule-only vs
+// Subscale-only on the Twitch workload.
+func Fig14(seeds []int64) FigureResult {
+	outs := compare(TwitchScenario,
+		[]string{"drrs", "drrs-dr", "drrs-schedule", "drrs-subscale"}, seeds)
+	rows := rowsFrom(outs)
+	from, to := measureWindow(outs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 14 — DRRS mechanism ablation (Twitch), window [%v, %v]\n", from, to)
+	fmt.Fprintf(&b, "%-15s %20s %20s\n", "", "Peak(ms)", "Average(ms)")
+	for _, mech := range []string{"drrs", "drrs-dr", "drrs-schedule", "drrs-subscale"} {
+		r := rows[mech]
+		fmt.Fprintf(&b, "%-15s %20s %20s\n", mech, r.PeakMs, r.AvgMs)
+	}
+	return FigureResult{Title: "fig14", Text: b.String(), Rows: rows}
+}
+
+// SensitivityPoint is one cell of the Fig 15 grid.
+type SensitivityPoint struct {
+	Mechanism  string
+	RatePerSec float64
+	StateBytes int
+	Skew       float64
+	// Deviation is the mean throughput shortfall below the offered rate over
+	// the measurement window (records/s; lower is better).
+	Deviation float64
+}
+
+// Fig15 regenerates the sensitivity grid: input rate × state size × skew →
+// throughput deviation for DRRS, Megaphone, and Meces on the simulated
+// 4-node cluster. Rates in records/s, stateBytes total across keys.
+func Fig15(seed int64, rates []float64, stateBytes []int, skews []float64, mechs []string) ([]SensitivityPoint, FigureResult) {
+	if len(mechs) == 0 {
+		mechs = []string{"drrs", "megaphone", "meces"}
+	}
+	var pts []SensitivityPoint
+	for _, mech := range mechs {
+		for _, skew := range skews {
+			for _, sb := range stateBytes {
+				for _, rate := range rates {
+					sc := SensitivityScenario(seed, rate, sb, skew)
+					o := sc.Run(Mechanisms(mech))
+					dev := o.Throughput.DeviationFrom(rate, o.ScaleAt, o.EndAt)
+					pts = append(pts, SensitivityPoint{
+						Mechanism: mech, RatePerSec: rate, StateBytes: sb,
+						Skew: skew, Deviation: dev,
+					})
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Fig 15 — Sensitivity: throughput deviation (records/s below offered load; lower is better)\n")
+	for _, mech := range mechs {
+		fmt.Fprintf(&b, "\n%s:\n", mech)
+		for _, skew := range skews {
+			fmt.Fprintf(&b, "  skew=%.1f\n", skew)
+			fmt.Fprintf(&b, "    %12s", "state\\rate")
+			for _, rate := range rates {
+				fmt.Fprintf(&b, " %8.0f", rate)
+			}
+			b.WriteString("\n")
+			for _, sb := range stateBytes {
+				fmt.Fprintf(&b, "    %10dMB", sb>>20)
+				for _, rate := range rates {
+					for _, p := range pts {
+						if p.Mechanism == mech && p.Skew == skew && p.StateBytes == sb && p.RatePerSec == rate {
+							fmt.Fprintf(&b, " %8.0f", p.Deviation)
+						}
+					}
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+	return pts, FigureResult{Title: "fig15", Text: b.String()}
+}

@@ -1,0 +1,124 @@
+// Package cluster models the physical deployment substrate: worker nodes
+// with processing-speed factors and per-node migration bandwidth pools.
+//
+// State migration transfers from the same source node contend for that node's
+// migration bandwidth (FIFO), which is what makes the DRRS Subscale
+// Scheduler's per-node concurrency threshold meaningful, and what the paper's
+// sensitivity analysis (Fig 15) exercises on its 4-node Swarm cluster.
+package cluster
+
+import (
+	"fmt"
+
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+)
+
+// Node is one simulated worker machine.
+type Node struct {
+	Name string
+	// Speed scales instance processing cost (cost/Speed); the paper's cluster
+	// is heterogeneous (Gold vs Silver Xeons).
+	Speed float64
+	// MigrationBandwidth is the byte rate available for outgoing state
+	// transfers; <= 0 means infinite.
+	MigrationBandwidth float64
+
+	busyUntil simtime.Time
+	// TransferredBytes counts outgoing migration traffic.
+	TransferredBytes int64
+}
+
+// Cluster places operator instances onto nodes and brokers state transfers.
+type Cluster struct {
+	sched     *simtime.Scheduler
+	nodes     map[string]*Node
+	order     []string
+	placement map[netsim.Endpoint]string
+	// TransferLatency is the per-transfer network latency between distinct
+	// nodes; transfers within one node skip it.
+	TransferLatency simtime.Duration
+}
+
+// New returns a cluster with a single infinite-bandwidth node "local", which
+// keeps single-machine experiments trivial to set up.
+func New(s *simtime.Scheduler) *Cluster {
+	c := &Cluster{
+		sched:           s,
+		nodes:           make(map[string]*Node),
+		placement:       make(map[netsim.Endpoint]string),
+		TransferLatency: simtime.Ms(0.5),
+	}
+	c.AddNode("local", 1.0, 0)
+	return c
+}
+
+// AddNode registers a worker node.
+func (c *Cluster) AddNode(name string, speed, migBandwidth float64) *Node {
+	if _, dup := c.nodes[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate node %s", name))
+	}
+	if speed <= 0 {
+		speed = 1
+	}
+	n := &Node{Name: name, Speed: speed, MigrationBandwidth: migBandwidth}
+	c.nodes[name] = n
+	c.order = append(c.order, name)
+	return n
+}
+
+// Node returns a registered node by name.
+func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
+
+// Nodes returns node names in registration order.
+func (c *Cluster) Nodes() []string { return append([]string(nil), c.order...) }
+
+// Place pins an instance to a node.
+func (c *Cluster) Place(ep netsim.Endpoint, node string) {
+	if _, ok := c.nodes[node]; !ok {
+		panic(fmt.Sprintf("cluster: place on unknown node %s", node))
+	}
+	c.placement[ep] = node
+}
+
+// PlaceRoundRobin spreads an operator's instances across all nodes.
+func (c *Cluster) PlaceRoundRobin(op string, parallelism int) {
+	for i := 0; i < parallelism; i++ {
+		c.Place(netsim.Endpoint{Op: op, Index: i}, c.order[i%len(c.order)])
+	}
+}
+
+// NodeOf resolves an instance's node, defaulting to the first node.
+func (c *Cluster) NodeOf(ep netsim.Endpoint) *Node {
+	if name, ok := c.placement[ep]; ok {
+		return c.nodes[name]
+	}
+	return c.nodes[c.order[0]]
+}
+
+// SpeedOf returns the processing-speed factor for an instance.
+func (c *Cluster) SpeedOf(ep netsim.Endpoint) float64 { return c.NodeOf(ep).Speed }
+
+// Transfer schedules a state transfer of the given size from one instance to
+// another and invokes done on completion. Transfers leaving the same node
+// serialize on its migration bandwidth.
+func (c *Cluster) Transfer(from, to netsim.Endpoint, bytes int, done func()) {
+	src := c.NodeOf(from)
+	dst := c.NodeOf(to)
+	now := c.sched.Now()
+	var ser simtime.Duration
+	if src.MigrationBandwidth > 0 {
+		ser = simtime.Duration(float64(bytes) / src.MigrationBandwidth * float64(simtime.Second))
+	}
+	start := now
+	if src.busyUntil > start {
+		start = src.busyUntil
+	}
+	src.busyUntil = start.Add(ser)
+	src.TransferredBytes += int64(bytes)
+	arrive := src.busyUntil
+	if src != dst {
+		arrive = arrive.Add(c.TransferLatency)
+	}
+	c.sched.At(arrive, done)
+}

@@ -1,0 +1,622 @@
+// Package core implements DRRS — Decoupling & Re-routing, Record Scheduling,
+// and Subscale Division — the paper's primary contribution.
+//
+// The mechanism mirrors the paper's architecture (Fig 8):
+//
+//   - Scale Coordinator (A): the Mechanism itself; it deploys instances
+//     (Topology Updater A0 via engine.AddInstance) and drives subscales
+//     (Subscale Handler A1).
+//   - Scale Executor (B): the per-instance pieces — the opHook (Barrier
+//     Handler B2 and Re-route Manager B4), the SchedulingHandler replacing
+//     the native input handler (Scale Input Handler B1, Suspend Manager B3).
+//   - Scale Planner (C): Plan (from the scaling framework) plus the
+//     lexicographic subscale divider and the greedy fewest-keys-first
+//     subscale scheduler with the per-node concurrency threshold (C0/C1).
+//
+// The three Options flags correspond to the paper's Fig 14 ablation: the
+// full system enables all three; each variant keeps exactly one. Variants
+// without DR fall back to coupled-barrier synchronization (the generalized
+// OTFS framework), with Subscale Division degrading to Naive Division —
+// concurrently launched coupled rounds whose alignments interfere (Fig 7a).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/engine"
+	"drrs/internal/netsim"
+	"drrs/internal/scaling"
+	"drrs/internal/simtime"
+)
+
+// Options selects which DRRS mechanisms are active.
+type Options struct {
+	// DR enables Decoupling and Re-routing: trigger/confirm barriers with
+	// predecessor injection, output-cache redirection, and Ep-record
+	// re-routing. Without it, synchronization uses coupled barriers.
+	DR bool
+	// Schedule enables Record Scheduling (inter- and intra-channel).
+	Schedule bool
+	// Subscale enables Subscale Division.
+	Subscale bool
+
+	// SubscaleKGs is the target key groups per subscale (default 8).
+	SubscaleKGs int
+	// NodeConcurrency caps concurrent subscales touching one node
+	// (default 2, the paper's threshold).
+	NodeConcurrency int
+	// BufferDepth bounds the intra-channel scan (default 200, the paper's
+	// pre-serialized record buffer).
+	BufferDepth int
+	// InstallCost is the per-chunk deserialization cost at the receiver.
+	InstallCost simtime.Duration
+}
+
+// FullDRRS returns the complete system's options.
+func FullDRRS() Options {
+	return Options{DR: true, Schedule: true, Subscale: true}
+}
+
+// Variant returns options for Fig 14's ablation variants: "drrs", "dr",
+// "schedule", or "subscale".
+func Variant(name string) Options {
+	switch name {
+	case "drrs":
+		return FullDRRS()
+	case "dr":
+		return Options{DR: true}
+	case "schedule":
+		return Options{Schedule: true}
+	case "subscale":
+		return Options{Subscale: true}
+	default:
+		panic(fmt.Sprintf("core: unknown variant %q", name))
+	}
+}
+
+func (o *Options) fillDefaults() {
+	if o.SubscaleKGs <= 0 {
+		o.SubscaleKGs = 8
+	}
+	if o.NodeConcurrency <= 0 {
+		o.NodeConcurrency = 2
+	}
+	if o.BufferDepth <= 0 {
+		o.BufferDepth = 200
+	}
+	if o.InstallCost <= 0 {
+		o.InstallCost = 200 * simtime.Microsecond
+	}
+}
+
+// subscale is one independently migrating subset of the scaling operation.
+type subscale struct {
+	id     int
+	signal string
+	moves  []dataflow.Move
+	kgs    map[int]bool
+	srcs   []int // unique source instances, ascending
+	dsts   []int // unique destination instances, ascending
+
+	triggered map[int]bool // src → migration started
+	// confirmSeen marks rerouted confirm consumption per
+	// (dst, src, predOp, predIdx) — the per-channel "fluid confirmation".
+	confirmSeen map[string]bool
+	// confirmsLeftAt counts outstanding confirms per destination (implicit
+	// alignment without Record Scheduling).
+	confirmsLeftAt map[int]int
+	confirmsLeft   int
+	chunksLeft     int
+	completed      bool
+	launched       bool
+}
+
+func (s *subscale) kgsFrom(src int) []int {
+	var out []int
+	for _, mv := range s.moves {
+		if mv.From == src {
+			out = append(out, mv.KeyGroup)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s *subscale) dstsOf(src int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, mv := range s.moves {
+		if mv.From == src && !seen[mv.To] {
+			seen[mv.To] = true
+			out = append(out, mv.To)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func confirmKey(dst, src int, predOp string, predIdx int) string {
+	return fmt.Sprintf("%d|%d|%s|%d", dst, src, predOp, predIdx)
+}
+
+var scaleIDs int64
+
+// Mechanism is the DRRS scale coordinator.
+type Mechanism struct {
+	Opt Options
+
+	rt      *engine.Runtime
+	plan    scaling.Plan
+	op      string
+	scaleID int64
+	done    func()
+
+	subs    []*subscale
+	pending []*subscale
+	subByID map[int]*subscale
+	subOfKG map[int]*subscale
+	moveOf  map[int]dataflow.Move
+
+	// migratedOut marks key groups extracted from their source (records for
+	// them re-route); chunkAt marks key groups installed at their target.
+	migratedOut map[int]bool
+	chunkAt     map[int]bool
+
+	rerouteEdges  map[[2]int]*netsim.Edge
+	edgeIsReroute map[*netsim.Edge]bool
+	reroutesInto  map[int][]*netsim.Edge
+
+	preds      []*engine.Instance
+	activeNode map[string]int
+	active     int
+	// MaxActive records the peak number of concurrently running subscales
+	// (observable evidence for the scheduler's concurrency threshold).
+	MaxActive int
+	finished  bool
+	cleaned   bool
+	cancelled bool
+}
+
+// New returns a DRRS mechanism with the given options.
+func New(opt Options) *Mechanism {
+	opt.fillDefaults()
+	return &Mechanism{Opt: opt}
+}
+
+// Name implements scaling.Mechanism.
+func (m *Mechanism) Name() string {
+	switch {
+	case m.Opt.DR && m.Opt.Schedule && m.Opt.Subscale:
+		return "drrs"
+	case m.Opt.DR:
+		return "drrs-dr"
+	case m.Opt.Schedule:
+		return "drrs-schedule"
+	case m.Opt.Subscale:
+		return "drrs-subscale"
+	default:
+		return "drrs-none"
+	}
+}
+
+// Start implements scaling.Mechanism.
+func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
+	if !m.Opt.DR {
+		m.startCoupled(rt, plan, done)
+		return
+	}
+	scaleIDs++
+	m.scaleID = scaleIDs
+	m.rt = rt
+	m.plan = plan
+	m.op = plan.Operator
+	m.done = done
+	m.subByID = make(map[int]*subscale)
+	m.subOfKG = make(map[int]*subscale)
+	m.moveOf = make(map[int]dataflow.Move)
+	m.migratedOut = make(map[int]bool)
+	m.chunkAt = make(map[int]bool)
+	m.rerouteEdges = make(map[[2]int]*netsim.Edge)
+	m.edgeIsReroute = make(map[*netsim.Edge]bool)
+	m.reroutesInto = make(map[int][]*netsim.Edge)
+	m.activeNode = make(map[string]int)
+	for _, mv := range plan.Moves {
+		m.moveOf[mv.KeyGroup] = mv
+	}
+	m.subs = m.divide()
+	m.pending = append([]*subscale(nil), m.subs...)
+	for _, s := range m.subs {
+		m.subByID[s.id] = s
+		for _, mv := range s.moves {
+			m.subOfKG[mv.KeyGroup] = s
+			rt.Scale.UnitAssigned(mv.KeyGroup, s.signal)
+		}
+	}
+
+	scaling.Deploy(rt, plan, func(added []*engine.Instance) {
+		m.preds = rt.PredecessorInstances(m.op)
+		// Count expected confirms: one per (pred, src, dst) triple.
+		for _, s := range m.subs {
+			s.confirmsLeftAt = make(map[int]int)
+			for _, src := range s.srcs {
+				for _, dst := range s.dstsOf(src) {
+					s.confirmsLeftAt[dst] += len(m.preds)
+					s.confirmsLeft += len(m.preds)
+				}
+			}
+			s.chunksLeft = len(s.moves)
+		}
+		// Re-route paths between every (src, dst) pair with a move.
+		for _, s := range m.subs {
+			for _, mv := range s.moves {
+				key := [2]int{mv.From, mv.To}
+				if m.rerouteEdges[key] == nil {
+					e := rt.ConnectInstances(rt.Instance(m.op, mv.From), rt.Instance(m.op, mv.To))
+					m.rerouteEdges[key] = e
+					m.edgeIsReroute[e] = true
+					m.reroutesInto[mv.To] = append(m.reroutesInto[mv.To], e)
+				}
+			}
+		}
+		// Executors: hook + the DR input handler (re-route channels are
+		// out-of-band special events; Record Scheduling when enabled) on
+		// every scaling-operator instance.
+		for _, in := range rt.Instances(m.op) {
+			in.SetHook(&opHook{m: m})
+			in.SetHandler(&drHandler{
+				m:        m,
+				schedule: m.Opt.Schedule,
+				sched:    SchedulingHandler{Depth: m.Opt.BufferDepth},
+			})
+		}
+		m.scheduleNext()
+	})
+}
+
+// divide implements the default Subscale Scheduler's partitioning (C1):
+// moves grouped per (source, destination) pair, lexicographically chunked
+// into subsets as equally sized as possible, bounded by SubscaleKGs. Without
+// Subscale Division the whole plan forms a single subscale.
+func (m *Mechanism) divide() []*subscale {
+	mk := func(id int, moves []dataflow.Move) *subscale {
+		s := &subscale{
+			id:          id,
+			signal:      fmt.Sprintf("drrs:%d:sub%d", m.scaleID, id),
+			moves:       moves,
+			kgs:         make(map[int]bool),
+			triggered:   make(map[int]bool),
+			confirmSeen: make(map[string]bool),
+		}
+		srcs := map[int]bool{}
+		dsts := map[int]bool{}
+		for _, mv := range moves {
+			s.kgs[mv.KeyGroup] = true
+			srcs[mv.From] = true
+			dsts[mv.To] = true
+		}
+		for src := range srcs {
+			s.srcs = append(s.srcs, src)
+		}
+		for dst := range dsts {
+			s.dsts = append(s.dsts, dst)
+		}
+		sort.Ints(s.srcs)
+		sort.Ints(s.dsts)
+		return s
+	}
+	if !m.Opt.Subscale {
+		moves := append([]dataflow.Move(nil), m.plan.Moves...)
+		sort.Slice(moves, func(i, j int) bool { return moves[i].KeyGroup < moves[j].KeyGroup })
+		return []*subscale{mk(0, moves)}
+	}
+	byPair := make(map[[2]int][]dataflow.Move)
+	var pairs [][2]int
+	for _, mv := range m.plan.Moves {
+		key := [2]int{mv.From, mv.To}
+		if byPair[key] == nil {
+			pairs = append(pairs, key)
+		}
+		byPair[key] = append(byPair[key], mv)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	var out []*subscale
+	id := 0
+	for _, key := range pairs {
+		moves := byPair[key]
+		sort.Slice(moves, func(i, j int) bool { return moves[i].KeyGroup < moves[j].KeyGroup })
+		// Equal-sized chunks bounded by SubscaleKGs.
+		n := (len(moves) + m.Opt.SubscaleKGs - 1) / m.Opt.SubscaleKGs
+		if n == 0 {
+			n = 1
+		}
+		per := (len(moves) + n - 1) / n
+		for len(moves) > 0 {
+			k := per
+			if k > len(moves) {
+				k = len(moves)
+			}
+			out = append(out, mk(id, moves[:k]))
+			id++
+			moves = moves[k:]
+		}
+	}
+	return out
+}
+
+// scheduleNext implements the greedy subscale scheduler: prioritize
+// subscales migrating to instances holding the fewest keys (activating new
+// instances fastest), subject to the per-node concurrency threshold.
+func (m *Mechanism) scheduleNext() {
+	if m.cancelled {
+		m.maybeFinish()
+		return
+	}
+	for {
+		sort.SliceStable(m.pending, func(i, j int) bool {
+			return m.heldKeys(m.pending[i]) < m.heldKeys(m.pending[j])
+		})
+		launched := false
+		for i, s := range m.pending {
+			if !m.nodeSlotsFree(s) {
+				continue
+			}
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.reserveNodes(s, +1)
+			m.launch(s)
+			launched = true
+			break
+		}
+		if !launched {
+			return
+		}
+	}
+}
+
+// heldKeys scores a subscale by the key groups its destinations already
+// hold.
+func (m *Mechanism) heldKeys(s *subscale) int {
+	sum := 0
+	for _, dst := range s.dsts {
+		sum += len(m.rt.Instance(m.op, dst).Store().Groups())
+	}
+	return sum
+}
+
+func (m *Mechanism) subscaleNodes(s *subscale) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, idx := range append(append([]int(nil), s.srcs...), s.dsts...) {
+		n := m.rt.Cluster.NodeOf(netsim.Endpoint{Op: m.op, Index: idx}).Name
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (m *Mechanism) nodeSlotsFree(s *subscale) bool {
+	for _, n := range m.subscaleNodes(s) {
+		if m.activeNode[n] >= m.Opt.NodeConcurrency {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Mechanism) reserveNodes(s *subscale, delta int) {
+	for _, n := range m.subscaleNodes(s) {
+		m.activeNode[n] += delta
+	}
+}
+
+// launch injects one subscale's decoupled signals at every predecessor.
+func (m *Mechanism) launch(s *subscale) {
+	s.launched = true
+	m.active++
+	if m.active > m.MaxActive {
+		m.MaxActive = m.active
+	}
+	m.rt.Scale.SignalInjected(s.signal, m.rt.Sched.Now())
+	m.rt.Sched.After(m.rt.Cfg.ControlLatency, func() {
+		for _, p := range m.preds {
+			m.inject(p, s)
+		}
+	})
+}
+
+// inject performs the predecessor-side protocol for one subscale: routing
+// update, output-cache redirection (records bypassed by the confirm barrier
+// move to the new channel in order), then trigger + confirm emission —
+// integrating with an in-flight checkpoint barrier per Fig 9a if one sits in
+// the output cache.
+func (m *Mechanism) inject(p *engine.Instance, s *subscale) {
+	tbl := p.Routing(m.op)
+	for _, mv := range s.moves {
+		tbl.SetOwner(mv.KeyGroup, mv.To)
+	}
+	isCkpt := func(msg netsim.Message) bool {
+		return msg.MsgKind() == netsim.KindCheckpointBarrier
+	}
+	for _, src := range s.srcs {
+		src := src
+		edgeOld := p.OutEdges(m.op)[src]
+		// Redirect output-cache records of this subscale's key groups
+		// (stopping at a checkpoint barrier: Fig 9a says redirection
+		// concludes there).
+		take := func(msg netsim.Message) bool {
+			r, ok := msg.(*netsim.Record)
+			return ok && s.kgs[r.KeyGroup] && m.moveOf[r.KeyGroup].From == src
+		}
+		for _, rec := range edgeOld.ExtractOutbox(take, isCkpt) {
+			r := rec.(*netsim.Record)
+			p.OutEdges(m.op)[m.moveOf[r.KeyGroup].To].ForceSend(r)
+		}
+		// The blocked-emission queue is the tail of the output cache.
+		for _, dst := range s.dstsOf(src) {
+			dst := dst
+			p.RedirectPending(edgeOld, p.OutEdges(m.op)[dst], func(r *netsim.Record) bool {
+				return s.kgs[r.KeyGroup] && m.moveOf[r.KeyGroup].To == dst
+			})
+		}
+		trig := &netsim.TriggerBarrier{ScaleID: m.scaleID, Subscale: s.id, FromOp: p.Spec.Name, FromIdx: p.Index}
+		conf := &netsim.ConfirmBarrier{ScaleID: m.scaleID, Subscale: s.id, FromOp: p.Spec.Name, FromIdx: p.Index}
+		if at := edgeOld.FindOutbox(isCkpt); at >= 0 {
+			// Fig 9a: the checkpoint barrier becomes an integrated signal —
+			// checkpoint, then trigger, then confirm.
+			m.rt.Scale.AddCounter("drrs_ckpt_integrated_outbox", 1)
+			edgeOld.InsertOutboxAt(at+1, trig)
+			edgeOld.InsertOutboxAt(at+2, conf)
+		} else {
+			edgeOld.SendPriority(conf)
+			edgeOld.SendPriority(trig) // ends up ahead of the confirm
+		}
+	}
+}
+
+// startMigration runs one source's fluid migration chain for a subscale.
+func (m *Mechanism) startMigration(s *subscale, src int) {
+	kgs := s.kgsFrom(src)
+	from := m.rt.Instance(m.op, src)
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(kgs) {
+			return
+		}
+		kg := kgs[i]
+		to := m.rt.Instance(m.op, m.moveOf[kg].To)
+		g := from.Store().ExtractGroup(kg)
+		m.migratedOut[kg] = true
+		m.rt.Scale.FirstMigration(s.signal, m.rt.Sched.Now())
+		from.Wake() // queued records for kg now re-route instead of waiting
+		bytes := 0
+		if g != nil {
+			bytes = g.Bytes
+		}
+		m.rt.Cluster.Transfer(from.Endpoint(), to.Endpoint(), bytes, func() {
+			m.rt.Sched.After(m.Opt.InstallCost, func() {
+				to.Store().InstallGroup(kg, g)
+				m.chunkAt[kg] = true
+				m.rt.Scale.UnitMigrated(kg, m.rt.Sched.Now())
+				s.chunksLeft--
+				to.Wake()
+				m.checkSubscale(s)
+				step(i + 1)
+			})
+		})
+	}
+	step(0)
+}
+
+func (m *Mechanism) checkSubscale(s *subscale) {
+	if s.completed || s.chunksLeft > 0 || s.confirmsLeft > 0 {
+		return
+	}
+	s.completed = true
+	m.active--
+	m.reserveNodes(s, -1)
+	m.scheduleNext()
+	m.maybeFinish()
+}
+
+func (m *Mechanism) maybeFinish() {
+	if m.finished {
+		m.maybeCleanup()
+		return
+	}
+	for _, s := range m.subs {
+		if !s.completed && !(m.cancelled && !s.launched) {
+			return
+		}
+	}
+	m.finished = true
+	m.rt.Scale.MarkScaleEnd(m.rt.Sched.Now())
+	if m.done != nil {
+		m.done()
+	}
+	m.maybeCleanup()
+}
+
+// maybeCleanup tears the scaling machinery down once the re-route paths have
+// drained, returning the runtime to its non-scaling configuration (the
+// paper: no DRRS components remain in runtime memory after scaling).
+func (m *Mechanism) maybeCleanup() {
+	if m.cleaned || !m.finished {
+		return
+	}
+	for _, e := range m.rerouteEdges {
+		if e.QueuedTotal() > 0 {
+			return
+		}
+	}
+	m.cleaned = true
+	for key, e := range m.rerouteEdges {
+		m.rt.DetachInput(m.rt.Instance(m.op, key[1]), e)
+	}
+	for _, in := range m.rt.Instances(m.op) {
+		in.SetHook(nil)
+		in.SetHandler(&engine.NativeHandler{})
+		in.Wake()
+	}
+}
+
+// Cancel supersedes this scaling operation (the paper's concurrent-request
+// rule: a newer request on the same operator terminates the older one).
+// Subscales not yet launched are dropped; launched ones run to completion so
+// state is never stranded mid-flight. The superseding request must plan from
+// the resulting placement.
+func (m *Mechanism) Cancel() {
+	if m.cancelled || m.rt == nil {
+		return
+	}
+	m.cancelled = true
+	m.pending = nil
+	m.maybeFinish()
+}
+
+// Cancelled reports whether the operation was superseded.
+func (m *Mechanism) Cancelled() bool { return m.cancelled }
+
+// Finished reports whether the operation has completed (or been fully
+// superseded).
+func (m *Mechanism) Finished() bool { return m.finished }
+
+// MigratedGroups returns the key groups whose migration completed, useful
+// for planning a superseding operation from actual placement.
+func (m *Mechanism) MigratedGroups() []int {
+	var out []int
+	for kg, ok := range m.chunkAt {
+		if ok {
+			out = append(out, kg)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// startCoupled runs the non-DR ablation variants on the coupled-barrier
+// controller: Schedule-only is a single coupled round plus Record
+// Scheduling; Subscale-only is Naive Division — concurrently launched
+// coupled rounds that interfere through alignment blocking.
+func (m *Mechanism) startCoupled(rt *engine.Runtime, plan scaling.Plan, done func()) {
+	rounds := scaling.BatchRounds(plan, 0)
+	if m.Opt.Subscale {
+		rounds = scaling.BatchRounds(plan, m.Opt.SubscaleKGs)
+	}
+	c := scaling.NewCoupledController(plan, rounds)
+	c.Fluid = true
+	c.InjectAtSources = false
+	c.Concurrent = m.Opt.Subscale
+	if m.Opt.Schedule {
+		depth := m.Opt.BufferDepth
+		c.Scheduling = func() engine.InputHandler { return &SchedulingHandler{Depth: depth} }
+	}
+	c.Start(rt, done)
+}

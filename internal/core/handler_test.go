@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/engine"
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+)
+
+// handlerRig builds a two-source → keyed-op job whose aggregator instance
+// has two input channels we can fill precisely, plus a gate hook that blocks
+// chosen key groups — the minimal apparatus for exercising the scheduling
+// handler's decisions.
+type handlerRig struct {
+	s    *simtime.Scheduler
+	rt   *engine.Runtime
+	agg  *engine.Instance
+	gate *gateHook
+}
+
+type gateHook struct {
+	engine.BaseHook
+	blocked map[int]bool
+}
+
+func (h *gateHook) Processable(_ *engine.Instance, r *netsim.Record, _ *netsim.Edge) bool {
+	return !h.blocked[r.KeyGroup]
+}
+
+func newHandlerRig(t *testing.T) *handlerRig {
+	t.Helper()
+	g := dataflow.NewGraph()
+	for _, src := range []string{"srcA", "srcB"} {
+		g.AddOperator(&dataflow.OperatorSpec{
+			Name: src, Parallelism: 1,
+			Source: func(dataflow.SourceContext) {},
+		})
+	}
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "agg", Parallelism: 1, KeyedInput: true, MaxKeyGroups: 8,
+		CostPerRecord: 10 * simtime.Microsecond,
+		NewLogic:      func() dataflow.Logic { return &engine.KeyedReduceLogic{} },
+	})
+	g.Connect("srcA", "agg", dataflow.ExchangeKeyed)
+	g.Connect("srcB", "agg", dataflow.ExchangeKeyed)
+	s := simtime.NewScheduler()
+	rt := engine.New(s, g, nil, engine.Config{Seed: 1, MarkerInterval: -1})
+	rig := &handlerRig{
+		s: s, rt: rt,
+		agg:  rt.Instance("agg", 0),
+		gate: &gateHook{blocked: map[int]bool{}},
+	}
+	rig.agg.SetHook(rig.gate)
+	rig.agg.SetHandler(&SchedulingHandler{Depth: 200})
+	// Prevent the instance from consuming while tests stage inboxes.
+	rig.agg.Halted = true
+	rt.Start()
+	return rig
+}
+
+// push delivers a record with the given key group onto channel ch (0 = from
+// srcA, 1 = from srcB) and lets it arrive.
+func (r *handlerRig) push(ch int, kg int, key uint64) {
+	src := "srcA"
+	if ch == 1 {
+		src = "srcB"
+	}
+	e := r.rt.Instance(src, 0).OutEdges("agg")[0]
+	e.TrySend(&netsim.Record{Key: key, KeyGroup: kg, Size: 64})
+	r.s.Run()
+}
+
+func (r *handlerRig) pushControl(ch int, m netsim.Message) {
+	src := "srcA"
+	if ch == 1 {
+		src = "srcB"
+	}
+	r.rt.Instance(src, 0).OutEdges("agg")[0].TrySend(m)
+	r.s.Run()
+}
+
+func (r *handlerRig) next() (netsim.Message, engine.NextStatus) {
+	m, _, st := r.agg.Handler().Next(r.agg)
+	return m, st
+}
+
+func TestInterChannelScheduling(t *testing.T) {
+	rig := newHandlerRig(t)
+	rig.gate.blocked[1] = true
+	rig.push(0, 1, 100) // channel 0 head: blocked group
+	rig.push(1, 2, 200) // channel 1 head: processable
+	m, st := rig.next()
+	if st != engine.NextOK {
+		t.Fatalf("status %v, want OK via inter-channel switch", st)
+	}
+	if m.(*netsim.Record).KeyGroup != 2 {
+		t.Fatalf("took group %d, want 2 from the other channel", m.(*netsim.Record).KeyGroup)
+	}
+}
+
+func TestIntraChannelBypass(t *testing.T) {
+	rig := newHandlerRig(t)
+	rig.gate.blocked[1] = true
+	rig.push(0, 1, 100) // head blocked
+	rig.push(0, 2, 200) // behind it: processable
+	m, st := rig.next()
+	if st != engine.NextOK {
+		t.Fatalf("status %v, want OK via intra-channel bypass", st)
+	}
+	if m.(*netsim.Record).KeyGroup != 2 {
+		t.Fatalf("took group %d, want 2 (bypassed record)", m.(*netsim.Record).KeyGroup)
+	}
+	// The blocked record must still be at the head, order preserved.
+	e := rig.agg.InEdges()[0]
+	if e.InboxLen() != 1 || e.InboxAt(0).(*netsim.Record).KeyGroup != 1 {
+		t.Fatal("bypassed head lost or reordered")
+	}
+}
+
+func TestIntraChannelFencesOnWatermark(t *testing.T) {
+	rig := newHandlerRig(t)
+	rig.gate.blocked[1] = true
+	rig.push(0, 1, 100)                             // head blocked
+	rig.pushControl(0, &netsim.Watermark{WM: 1000}) // fence
+	rig.push(0, 2, 200)                             // processable but beyond the fence
+	_, st := rig.next()
+	if st != engine.NextSuspended {
+		t.Fatalf("status %v: scheduling must not cross a watermark", st)
+	}
+}
+
+func TestIntraChannelFencesOnCheckpointBarrier(t *testing.T) {
+	rig := newHandlerRig(t)
+	rig.gate.blocked[1] = true
+	rig.push(0, 1, 100)
+	rig.pushControl(0, &netsim.CheckpointBarrier{ID: 1})
+	rig.push(0, 2, 200)
+	_, st := rig.next()
+	if st != engine.NextSuspended {
+		t.Fatalf("status %v: scheduling must not cross a checkpoint barrier", st)
+	}
+}
+
+func TestDepthLimitRespected(t *testing.T) {
+	rig := newHandlerRig(t)
+	rig.agg.SetHandler(&SchedulingHandler{Depth: 3})
+	rig.gate.blocked[1] = true
+	for i := 0; i < 3; i++ {
+		rig.push(0, 1, uint64(100+i)) // three blocked records
+	}
+	rig.push(0, 2, 200) // processable at depth 3 — beyond the buffer
+	_, st := rig.next()
+	if st != engine.NextSuspended {
+		t.Fatalf("status %v: record at depth 3 must be outside a 3-deep buffer", st)
+	}
+	rig.agg.SetHandler(&SchedulingHandler{Depth: 4})
+	m, st := rig.next()
+	if st != engine.NextOK || m.(*netsim.Record).KeyGroup != 2 {
+		t.Fatal("deeper buffer should reach the record")
+	}
+}
+
+func TestSuspendedOnlyWhenNothingProcessable(t *testing.T) {
+	rig := newHandlerRig(t)
+	if _, st := rig.next(); st != engine.NextIdle {
+		t.Fatalf("empty channels should be idle, got %v", st)
+	}
+	rig.gate.blocked[1] = true
+	rig.push(0, 1, 100)
+	rig.push(1, 1, 101)
+	if _, st := rig.next(); st != engine.NextSuspended {
+		t.Fatal("all heads blocked, nothing deeper: must suspend")
+	}
+	rig.gate.blocked = map[int]bool{}
+	if _, st := rig.next(); st != engine.NextOK {
+		t.Fatal("unblocking must make progress")
+	}
+}
+
+func TestHeadPreferredOverBypass(t *testing.T) {
+	// Pass 1 (inter-channel) must win before pass 2 (intra-channel): a
+	// processable head on channel 1 is taken, not a deep record on channel 0.
+	rig := newHandlerRig(t)
+	rig.gate.blocked[1] = true
+	rig.push(0, 1, 100)
+	rig.push(0, 3, 103)
+	rig.push(1, 2, 200)
+	m, st := rig.next()
+	if st != engine.NextOK || m.(*netsim.Record).KeyGroup != 2 {
+		t.Fatalf("want head of channel 1 (group 2), got %v", m)
+	}
+}
+
+func TestSameGroupNeverReordered(t *testing.T) {
+	// Records of one key group share processability, so a blocked group can
+	// never be leapfrogged by its own later records: after unblocking, they
+	// must come out in order.
+	rig := newHandlerRig(t)
+	rig.gate.blocked[1] = true
+	rig.push(0, 1, 100)
+	rig.push(0, 1, 101)
+	rig.push(0, 2, 200)
+	m, st := rig.next() // bypasses both group-1 records
+	if st != engine.NextOK || m.(*netsim.Record).Key != 200 {
+		t.Fatal("expected the group-2 record")
+	}
+	rig.gate.blocked = map[int]bool{}
+	m1, _ := rig.next()
+	m2, _ := rig.next()
+	if m1.(*netsim.Record).Key != 100 || m2.(*netsim.Record).Key != 101 {
+		t.Fatalf("group-1 records reordered: %d then %d",
+			m1.(*netsim.Record).Key, m2.(*netsim.Record).Key)
+	}
+}

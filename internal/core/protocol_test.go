@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/engine"
+	"drrs/internal/netsim"
+	"drrs/internal/scaling"
+	"drrs/internal/simtime"
+)
+
+// Protocol-level tests for the Decoupling & Re-routing machinery: they pin
+// the exact wire behaviour of Fig 4/5 — outbox redirection, trigger priority,
+// confirm re-routing, Ep-record re-routing — on a surgically controlled job.
+
+// protoRig builds src → agg(p=1, 8 groups) → sink with the aggregator halted
+// so queues can be staged before signals inject.
+type protoRig struct {
+	s    *simtime.Scheduler
+	rt   *engine.Runtime
+	g    *dataflow.Graph
+	sink *engine.CollectSink
+}
+
+func newProtoRig(t *testing.T, burst int) *protoRig {
+	t.Helper()
+	sink := engine.NewCollectSink()
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "src", Parallelism: 1,
+		Source: func(ctx dataflow.SourceContext) {
+			for i := 0; i < burst; i++ {
+				ctx.Ingest(&netsim.Record{
+					Key: uint64(i) + 1, EventTime: ctx.Now(), Size: 64, Data: 1.0,
+				})
+			}
+		},
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "agg", Parallelism: 1, KeyedInput: true, MaxKeyGroups: 8,
+		CostPerRecord: 50 * simtime.Microsecond,
+		NewLogic:      func() dataflow.Logic { return &engine.KeyedReduceLogic{EmitUpdates: true} },
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "sink", Parallelism: 1,
+		NewLogic: func() dataflow.Logic { return sink },
+	})
+	g.Connect("src", "agg", dataflow.ExchangeKeyed)
+	g.Connect("agg", "sink", dataflow.ExchangeRebalance)
+	s := simtime.NewScheduler()
+	rt := engine.New(s, g, nil, engine.Config{
+		Seed: 17, EdgeInCap: 4, EdgeOutCap: 256, MarkerInterval: -1,
+	})
+	return &protoRig{s: s, rt: rt, g: g, sink: sink}
+}
+
+// TestOutboxRedirectionPreservesOrder stages records for a migrating group
+// in the predecessor's output cache, injects DRRS, and verifies redirected
+// records reach the new instance in their original order ahead of any
+// post-injection records.
+func TestOutboxRedirectionPreservesOrder(t *testing.T) {
+	rig := newProtoRig(t, 60)
+	rig.rt.Instance("agg", 0).Halted = true // inbox (4) fills; outbox retains the rest
+	rig.rt.Start()
+	rig.s.RunUntil(simtime.Time(simtime.Ms(5)))
+
+	src := rig.rt.Instance("src", 0)
+	edgeOld := src.OutEdges("agg")[0]
+	if edgeOld.OutboxLen() == 0 {
+		t.Fatal("setup failed: outbox empty, nothing to redirect")
+	}
+	mech := New(FullDRRS())
+	var done bool
+	plan := scaling.UniformPlan(rig.g, "agg", 2, simtime.Ms(1))
+	mech.Start(rig.rt, plan, func() { done = true })
+	rig.s.RunUntil(simtime.Time(simtime.Ms(10)))
+
+	// The new channel's queue must contain only records of moved groups, in
+	// ascending key order (keys were emitted in order and share the queue).
+	moved := plan.MovedSet()
+	edgeNew := src.OutEdges("agg")[1]
+	var lastSeq uint64
+	checkQueue := func(m netsim.Message) {
+		r, ok := m.(*netsim.Record)
+		if !ok {
+			return
+		}
+		if !moved[r.KeyGroup] {
+			t.Fatalf("unmoved group %d redirected", r.KeyGroup)
+		}
+		if r.Seq < lastSeq {
+			t.Fatalf("redirected records reordered: seq %d after %d", r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+	}
+	for i := 0; i < edgeNew.OutboxLen(); i++ {
+		checkQueue(edgeNew.OutboxAt(i))
+	}
+	// And the old channel must hold no moved-group records before the
+	// confirm barrier (they were extracted).
+	confirmSeen := false
+	for i := 0; i < edgeOld.OutboxLen(); i++ {
+		m := edgeOld.OutboxAt(i)
+		if m.MsgKind() == netsim.KindConfirmBarrier {
+			confirmSeen = true
+			continue
+		}
+		if confirmSeen {
+			break
+		}
+		if r, ok := m.(*netsim.Record); ok && moved[r.KeyGroup] {
+			t.Fatalf("moved-group record (kg %d) left ahead of the confirm barrier", r.KeyGroup)
+		}
+	}
+
+	rig.rt.Instance("agg", 0).Halted = false
+	rig.rt.Instance("agg", 0).Wake()
+	rig.s.Run()
+	if !done {
+		t.Fatal("scaling never completed")
+	}
+	if rig.sink.Records != 60 {
+		t.Fatalf("sink saw %d of 60 records", rig.sink.Records)
+	}
+	if d := rig.sink.Duplicates(); d != 0 {
+		t.Fatalf("%d duplicates", d)
+	}
+}
+
+// TestTriggerPrecedesConfirmOnWire pins the signal emission order: the
+// trigger barrier sits ahead of the confirm barrier in the output cache, so
+// migration starts before routing confirmation completes — the decoupling.
+func TestTriggerPrecedesConfirmOnWire(t *testing.T) {
+	rig := newProtoRig(t, 40)
+	rig.rt.Instance("agg", 0).Halted = true
+	rig.rt.Start()
+	rig.s.RunUntil(simtime.Time(simtime.Ms(5)))
+	mech := New(FullDRRS())
+	mech.Start(rig.rt, scaling.UniformPlan(rig.g, "agg", 2, simtime.Ms(1)), nil)
+	// Injection happens at scale-start + setup(1ms) + control latency(1ms);
+	// arrival adds edge latency. 9ms leaves both signals delivered.
+	rig.s.RunUntil(simtime.Time(simtime.Ms(9)))
+
+	// Control messages leave the output cache immediately; the observable
+	// artifact is on the receiver side: the trigger arrives at the *front*
+	// of the old instance's input buffer (bypassing queued data), while the
+	// confirm queues in order behind the data.
+	e := rig.rt.Instance("agg", 0).InEdges()[0]
+	trigAt := e.FindInbox(func(m netsim.Message) bool { return m.MsgKind() == netsim.KindTriggerBarrier })
+	confAt := e.FindInbox(func(m netsim.Message) bool { return m.MsgKind() == netsim.KindConfirmBarrier })
+	if trigAt != 0 {
+		t.Fatalf("trigger at inbox depth %d, want 0 (priority arrival)", trigAt)
+	}
+	if confAt != -1 && confAt <= trigAt {
+		t.Fatalf("confirm at %d should trail the trigger at %d", confAt, trigAt)
+	}
+	rig.rt.Instance("agg", 0).Halted = false
+	rig.rt.Instance("agg", 0).Wake()
+	rig.s.Run()
+}
+
+// TestMigrationStartsWhileOldInstanceBlocked is the decoupling headline: the
+// trigger's priority path starts migration even though the old instance has
+// a deep unprocessed queue (a coupled barrier would still be queueing).
+func TestMigrationStartsWhileOldInstanceBlocked(t *testing.T) {
+	rig := newProtoRig(t, 60)
+	agg := rig.rt.Instance("agg", 0)
+	agg.Halted = true
+	rig.rt.Start()
+	rig.s.RunUntil(simtime.Time(simtime.Ms(5)))
+	mech := New(FullDRRS())
+	mech.Start(rig.rt, scaling.UniformPlan(rig.g, "agg", 2, simtime.Ms(1)), nil)
+	// Allow signals to inject and the trigger to arrive. The instance is
+	// halted — but the trigger is consumed by the handler only when the
+	// instance runs, so unhalt and run a sliver of time: far less than it
+	// would take to drain the 60-record backlog.
+	agg.Halted = false
+	agg.Wake()
+	rig.s.RunUntil(simtime.Time(simtime.Ms(8))) // ~3 records' worth of work
+	if mech.rt.Scale.UnitsMigrated() == 0 && len(mech.migratedOut) == 0 {
+		t.Fatal("migration never started while the queue was deep — trigger priority broken")
+	}
+	rig.s.Run()
+}

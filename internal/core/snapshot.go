@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+)
+
+// ScalingSnapshot captures a DRRS operation's progress for inclusion in a
+// checkpoint, per the paper's §IV-C: "to handle potential scaling failures,
+// DRRS incorporates scaling-related states, such as subscale progress and
+// in-transit data, within snapshots". A recovered job restores the keyed
+// state from the checkpoint and uses this record to decide which subscales
+// must be re-driven (pending and in-flight ones) versus replayed as already
+// complete.
+type ScalingSnapshot struct {
+	// ScaleID identifies the operation.
+	ScaleID int64
+	// Operator is the scaling operator.
+	Operator string
+	// NewParallelism is the target parallelism.
+	NewParallelism int
+	// Subscales records per-subscale progress.
+	Subscales []SubscaleSnapshot
+	// Finished marks a fully completed operation.
+	Finished bool
+	// Cancelled marks a superseded operation.
+	Cancelled bool
+}
+
+// SubscaleSnapshot is one subscale's durable progress.
+type SubscaleSnapshot struct {
+	ID int
+	// KeyGroups are the subscale's migrating groups, ascending.
+	KeyGroups []int
+	// Launched reports whether signals were injected.
+	Launched bool
+	// Completed reports chunks + confirms all accounted.
+	Completed bool
+	// MigratedGroups lists groups whose chunks have been installed at the
+	// target (they need no re-migration after recovery).
+	MigratedGroups []int
+	// ConfirmsOutstanding counts confirm barriers still in flight — the
+	// "in-transit data" a recovery must re-synthesize.
+	ConfirmsOutstanding int
+}
+
+// Snapshot captures the operation's current progress. Returns the zero value
+// if the mechanism has not started (or runs a coupled variant, which is
+// barrier-synchronized and needs no extra state beyond the checkpoint).
+func (m *Mechanism) Snapshot() ScalingSnapshot {
+	if m.rt == nil {
+		return ScalingSnapshot{}
+	}
+	snap := ScalingSnapshot{
+		ScaleID:        m.scaleID,
+		Operator:       m.op,
+		NewParallelism: m.plan.NewParallelism,
+		Finished:       m.finished,
+		Cancelled:      m.cancelled,
+	}
+	for _, s := range m.subs {
+		ss := SubscaleSnapshot{
+			ID:                  s.id,
+			Launched:            s.launched,
+			Completed:           s.completed,
+			ConfirmsOutstanding: s.confirmsLeft,
+		}
+		for kg := range s.kgs {
+			ss.KeyGroups = append(ss.KeyGroups, kg)
+			if m.chunkAt[kg] {
+				ss.MigratedGroups = append(ss.MigratedGroups, kg)
+			}
+		}
+		sort.Ints(ss.KeyGroups)
+		sort.Ints(ss.MigratedGroups)
+		snap.Subscales = append(snap.Subscales, ss)
+	}
+	sort.Slice(snap.Subscales, func(i, j int) bool {
+		return snap.Subscales[i].ID < snap.Subscales[j].ID
+	})
+	return snap
+}
+
+// RemainingAfterRecovery derives the key groups a restarted scaling
+// operation must still migrate, given the snapshot: everything the snapshot
+// does not record as installed at its target.
+func (s ScalingSnapshot) RemainingAfterRecovery() []int {
+	migrated := map[int]bool{}
+	var all []int
+	for _, sub := range s.Subscales {
+		all = append(all, sub.KeyGroups...)
+		for _, kg := range sub.MigratedGroups {
+			migrated[kg] = true
+		}
+	}
+	var out []int
+	for _, kg := range all {
+		if !migrated[kg] {
+			out = append(out, kg)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

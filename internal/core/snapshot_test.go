@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"drrs/internal/engine"
+	"drrs/internal/scaling"
+	"drrs/internal/simtime"
+	"drrs/internal/workload"
+)
+
+func TestSnapshotBeforeStartIsZero(t *testing.T) {
+	m := New(FullDRRS())
+	if snap := m.Snapshot(); snap.ScaleID != 0 || len(snap.Subscales) != 0 {
+		t.Fatalf("unstarted snapshot should be zero, got %+v", snap)
+	}
+}
+
+func TestSnapshotMidScaling(t *testing.T) {
+	wl := scaletestConfig(91)
+	g, _ := workload.Build(wl)
+	s := simtime.NewScheduler()
+	rt := engine.New(s, g, nil, engine.Config{Seed: wl.Seed})
+	rt.Cluster.Node("local").MigrationBandwidth = 1 << 20 // slow: catch it mid-flight
+	rt.Start()
+
+	m := New(FullDRRS())
+	var plan scaling.Plan
+	s.After(simtime.Sec(1), func() {
+		plan = scaling.UniformPlan(g, "agg", 6, simtime.Ms(20))
+		m.Start(rt, plan, nil)
+	})
+	s.RunUntil(simtime.Time(simtime.Ms(1300)))
+
+	snap := m.Snapshot()
+	if snap.Operator != "agg" || snap.NewParallelism != 6 {
+		t.Fatalf("snapshot header %+v", snap)
+	}
+	if snap.Finished {
+		t.Fatal("slow migration should still be in flight at 1.3s")
+	}
+	var total, migrated int
+	for _, sub := range snap.Subscales {
+		total += len(sub.KeyGroups)
+		migrated += len(sub.MigratedGroups)
+	}
+	if total != len(plan.Moves) {
+		t.Fatalf("snapshot covers %d groups, plan has %d", total, len(plan.Moves))
+	}
+	remaining := snap.RemainingAfterRecovery()
+	if len(remaining)+migrated != total {
+		t.Fatalf("remaining %d + migrated %d != total %d", len(remaining), migrated, total)
+	}
+	if len(remaining) == 0 {
+		t.Fatal("nothing remaining mid-flight — the snapshot caught a finished run; slow the cluster down")
+	}
+
+	// Run to completion: the final snapshot records everything migrated.
+	s.RunUntil(simtime.Time(wl.Duration))
+	rt.StopMarkers()
+	s.Run()
+	final := m.Snapshot()
+	if !final.Finished {
+		t.Fatal("scaling never finished")
+	}
+	if got := final.RemainingAfterRecovery(); len(got) != 0 {
+		t.Fatalf("finished snapshot still reports %d remaining", len(got))
+	}
+	for _, sub := range final.Subscales {
+		if !sub.Completed || sub.ConfirmsOutstanding != 0 {
+			t.Fatalf("subscale %d not settled in final snapshot: %+v", sub.ID, sub)
+		}
+	}
+}
+
+func scaletestConfig(seed int64) workload.Config {
+	return workload.Config{
+		SourceParallelism: 2,
+		AggParallelism:    4,
+		MaxKeyGroups:      32,
+		Keys:              200,
+		RatePerSec:        2000,
+		StateBytesPerKey:  2048,
+		CostPerRecord:     50 * simtime.Microsecond,
+		Duration:          simtime.Sec(4),
+		EmitUpdates:       true,
+		Seed:              seed,
+	}
+}

@@ -1,0 +1,349 @@
+// Package engine is the runtime of the simulated stream processing engine:
+// operator instances with an event-driven processing loop, pluggable input
+// handlers (the seam DRRS's Scale Input Handler replaces), keyed emission
+// through per-sender routing tables, watermark alignment, aligned
+// checkpoints, sources with ingest backlogs, latency-marker plumbing, and
+// runtime rescaling primitives (instance addition, edge wiring, outbox
+// redirection).
+//
+// The engine deliberately mirrors the pieces of Apache Flink that the paper's
+// mechanisms manipulate, at the granularity the paper reasons about: output
+// caches, input buffers, barriers, key groups, and routing tables.
+package engine
+
+import (
+	"fmt"
+
+	"drrs/internal/cluster"
+	"drrs/internal/dataflow"
+	"drrs/internal/metrics"
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+	"drrs/internal/state"
+)
+
+// Config carries runtime-wide tunables. Zero values select the defaults
+// documented on each field.
+type Config struct {
+	// Seed drives every random stream in the run.
+	Seed int64
+
+	// EdgeLatency is the per-hop network latency of data edges
+	// (default 0.5 ms, LAN-ish).
+	EdgeLatency simtime.Duration
+	// EdgeBandwidth is the per-edge byte rate; 0 means infinite (the data
+	// plane is rarely the bottleneck in the paper's experiments).
+	EdgeBandwidth float64
+	// EdgeOutCap / EdgeInCap bound the output cache and input buffer of each
+	// edge in records (default 128 each, roughly Flink's buffer pools).
+	EdgeOutCap int
+	EdgeInCap  int
+
+	// ControlLatency models coordinator→worker RPC latency (default 1 ms).
+	ControlLatency simtime.Duration
+
+	// MarkerInterval is the latency-marker injection period (default 250 ms;
+	// 0 disables markers).
+	MarkerInterval simtime.Duration
+
+	// SnapshotBytesPerSec is the checkpoint write rate (default 400 MB/s).
+	SnapshotBytesPerSec float64
+
+	// ThroughputBucket is the throughput series resolution (default 1 s).
+	ThroughputBucket simtime.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.EdgeLatency == 0 {
+		c.EdgeLatency = simtime.Ms(0.5)
+	}
+	if c.EdgeOutCap == 0 {
+		c.EdgeOutCap = 128
+	}
+	if c.EdgeInCap == 0 {
+		c.EdgeInCap = 128
+	}
+	if c.ControlLatency == 0 {
+		c.ControlLatency = simtime.Ms(1)
+	}
+	if c.MarkerInterval == 0 {
+		c.MarkerInterval = simtime.Ms(250)
+	}
+	if c.SnapshotBytesPerSec == 0 {
+		c.SnapshotBytesPerSec = 400 << 20
+	}
+	if c.ThroughputBucket == 0 {
+		c.ThroughputBucket = simtime.Second
+	}
+}
+
+// Runtime executes one job graph on a scheduler.
+type Runtime struct {
+	Sched   *simtime.Scheduler
+	Graph   *dataflow.Graph
+	Cluster *cluster.Cluster
+	Cfg     Config
+
+	instances map[string][]*Instance
+
+	// Latency records marker end-to-end latencies (ms).
+	Latency *metrics.LatencyTracker
+	// Throughput records source emission rates.
+	Throughput *metrics.ThroughputTracker
+	// Scale aggregates scaling-delay accounting; mechanisms write into it.
+	Scale *metrics.ScalingMetrics
+
+	rng       *simtime.RNG
+	recSeq    uint64
+	markerSeq uint64
+	ckptSeq   int64
+	ckpt      *checkpointRound
+
+	// OnMarkerSink, if set, is called for each marker reaching a sink
+	// (after latency recording).
+	OnMarkerSink func(r *netsim.Record)
+
+	markerTimer *simtime.Timer
+}
+
+// New builds a runtime for the graph: it validates the DAG, creates all
+// instances, wires all edges, and assigns key-group ranges, but does not
+// start sources. Call Start (or StartAt) before running the scheduler.
+func New(s *simtime.Scheduler, g *dataflow.Graph, cl *cluster.Cluster, cfg Config) *Runtime {
+	cfg.fillDefaults()
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if cl == nil {
+		cl = cluster.New(s)
+	}
+	rt := &Runtime{
+		Sched:      s,
+		Graph:      g,
+		Cluster:    cl,
+		Cfg:        cfg,
+		instances:  make(map[string][]*Instance),
+		Latency:    metrics.NewLatencyTracker(),
+		Throughput: metrics.NewThroughputTracker(cfg.ThroughputBucket),
+		Scale:      metrics.NewScalingMetrics(),
+		rng:        simtime.NewRNG(cfg.Seed, "runtime"),
+	}
+	// Create instances in topological order, then wire edges.
+	for _, name := range g.Topological() {
+		spec := g.Operator(name)
+		for i := 0; i < spec.Parallelism; i++ {
+			rt.instances[name] = append(rt.instances[name], rt.newInstance(spec, i))
+		}
+	}
+	for _, name := range g.Topological() {
+		for _, se := range g.Outputs(name) {
+			for _, from := range rt.instances[name] {
+				for _, to := range rt.instances[se.To] {
+					rt.wire(from, to, se)
+				}
+			}
+		}
+	}
+	// Keyed operators own their initial key-group ranges.
+	for _, name := range g.Topological() {
+		spec := g.Operator(name)
+		if !spec.KeyedInput {
+			continue
+		}
+		for i, in := range rt.instances[name] {
+			lo, hi := state.KeyGroupRange(spec.MaxKeyGroups, spec.Parallelism, i)
+			for kg := lo; kg < hi; kg++ {
+				in.store.OwnGroup(kg)
+			}
+		}
+	}
+	return rt
+}
+
+// edgeConfig returns the standard data-edge parameters.
+func (rt *Runtime) edgeConfig() netsim.EdgeConfig {
+	return netsim.EdgeConfig{
+		Latency:   rt.Cfg.EdgeLatency,
+		Bandwidth: rt.Cfg.EdgeBandwidth,
+		OutCap:    rt.Cfg.EdgeOutCap,
+		InCap:     rt.Cfg.EdgeInCap,
+	}
+}
+
+// wire creates the physical channel for one (from-instance, to-instance)
+// pair of a stream edge.
+func (rt *Runtime) wire(from, to *Instance, se dataflow.StreamEdge) {
+	e := netsim.NewEdge(rt.Sched, from.Endpoint(), to.Endpoint(), rt.edgeConfig())
+	e.SetReceiver(func(*netsim.Edge) { to.Wake() })
+	e.SetSenderWake(func() { from.Wake() })
+	from.addOutput(se.To, to.Index, e)
+	to.addInput(e)
+	if se.Exchange == dataflow.ExchangeKeyed {
+		toSpec := rt.Graph.Operator(se.To)
+		if from.routing[se.To] == nil {
+			from.routing[se.To] = dataflow.NewRoutingTable(toSpec.MaxKeyGroups, toSpec.Parallelism)
+		}
+	}
+}
+
+// Instances returns the live instances of an operator.
+func (rt *Runtime) Instances(op string) []*Instance { return rt.instances[op] }
+
+// Instance returns one instance, or nil when out of range.
+func (rt *Runtime) Instance(op string, idx int) *Instance {
+	is := rt.instances[op]
+	if idx < 0 || idx >= len(is) {
+		return nil
+	}
+	return is[idx]
+}
+
+// EachInstance visits all instances in topological operator order.
+func (rt *Runtime) EachInstance(fn func(*Instance)) {
+	for _, name := range rt.Graph.Topological() {
+		for _, in := range rt.instances[name] {
+			fn(in)
+		}
+	}
+}
+
+// Start launches all source drivers and the latency-marker injector at the
+// current scheduler time.
+func (rt *Runtime) Start() {
+	for _, name := range rt.Graph.Topological() {
+		spec := rt.Graph.Operator(name)
+		if spec.Source == nil {
+			continue
+		}
+		for _, in := range rt.instances[name] {
+			in.startSource()
+		}
+	}
+	if rt.Cfg.MarkerInterval > 0 {
+		rt.scheduleMarker()
+	}
+}
+
+func (rt *Runtime) scheduleMarker() {
+	rt.markerTimer = rt.Sched.After(rt.Cfg.MarkerInterval, func() {
+		rt.injectMarkers()
+		rt.scheduleMarker()
+	})
+}
+
+// injectMarkers ingests one latency marker at every source instance. The
+// marker key rotates so that, over time, markers sample every downstream
+// instance path (suspended instances therefore show up as latency spikes).
+func (rt *Runtime) injectMarkers() {
+	for _, name := range rt.Graph.Topological() {
+		spec := rt.Graph.Operator(name)
+		if spec.Source == nil {
+			continue
+		}
+		for _, in := range rt.instances[name] {
+			rt.markerSeq++
+			m := &netsim.Record{
+				Key:        rt.markerSeq,
+				IngestTime: rt.Sched.Now(),
+				Size:       32,
+				Marker:     true,
+			}
+			in.ingest(m)
+		}
+	}
+}
+
+// StopMarkers halts marker injection (used at experiment teardown).
+func (rt *Runtime) StopMarkers() {
+	if rt.markerTimer != nil {
+		rt.markerTimer.Cancel()
+	}
+}
+
+// NextSeq hands out a global record sequence number.
+func (rt *Runtime) NextSeq() uint64 {
+	rt.recSeq++
+	return rt.recSeq
+}
+
+// checkpointRound tracks one in-flight aligned checkpoint.
+type checkpointRound struct {
+	id      int64
+	started simtime.Time
+	pending map[string]bool // instance names yet to ack
+	done    func(id int64)
+}
+
+// ckptStarted reports when checkpoint id was triggered (zero if unknown).
+func (rt *Runtime) ckptStarted(id int64) simtime.Time {
+	if rt.ckpt != nil && rt.ckpt.id == id {
+		return rt.ckpt.started
+	}
+	return 0
+}
+
+// TriggerCheckpoint starts an aligned checkpoint: barriers are injected at
+// every source instance and flow through the topology with channel-blocking
+// alignment. done (optional) fires when every instance has snapshotted.
+// It returns the checkpoint id, or -1 if one is already running.
+func (rt *Runtime) TriggerCheckpoint(done func(id int64)) int64 {
+	if rt.ckpt != nil {
+		return -1
+	}
+	rt.ckptSeq++
+	round := &checkpointRound{id: rt.ckptSeq, started: rt.Sched.Now(), pending: make(map[string]bool), done: done}
+	rt.EachInstance(func(in *Instance) { round.pending[in.Name()] = true })
+	rt.ckpt = round
+	for _, name := range rt.Graph.Topological() {
+		spec := rt.Graph.Operator(name)
+		if spec.Source == nil {
+			continue
+		}
+		for _, in := range rt.instances[name] {
+			in.sourceEmitBarrier(&netsim.CheckpointBarrier{ID: round.id})
+		}
+	}
+	return round.id
+}
+
+// ackCheckpoint is called by instances after snapshotting.
+func (rt *Runtime) ackCheckpoint(id int64, instance string) {
+	if rt.ckpt == nil || rt.ckpt.id != id {
+		return
+	}
+	delete(rt.ckpt.pending, instance)
+	if len(rt.ckpt.pending) == 0 {
+		round := rt.ckpt
+		rt.ckpt = nil
+		if round.done != nil {
+			round.done(round.id)
+		}
+	}
+}
+
+// CheckpointRunning reports whether an aligned checkpoint is in flight.
+func (rt *Runtime) CheckpointRunning() bool { return rt.ckpt != nil }
+
+// RunFor advances the simulation by d.
+func (rt *Runtime) RunFor(d simtime.Duration) {
+	rt.Sched.RunUntil(rt.Sched.Now().Add(d))
+}
+
+// TotalStateBytes sums keyed state across an operator's instances.
+func (rt *Runtime) TotalStateBytes(op string) int {
+	var sum int
+	for _, in := range rt.instances[op] {
+		sum += in.store.TotalBytes()
+	}
+	return sum
+}
+
+// DebugString summarizes live instances (used by drrs-sim).
+func (rt *Runtime) DebugString() string {
+	s := ""
+	rt.EachInstance(func(in *Instance) {
+		s += fmt.Sprintf("%-16s processed=%-8d stateKB=%-8d backlog=%d\n",
+			in.Name(), in.Processed, in.store.TotalBytes()/1024, in.BacklogLen())
+	})
+	return s
+}

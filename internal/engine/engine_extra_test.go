@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"testing"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+)
+
+func TestRebalanceDistributesRoundRobin(t *testing.T) {
+	sink0 := NewCollectSink()
+	sink1 := NewCollectSink()
+	sinks := []*CollectSink{sink0, sink1}
+	var next int
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "src", Parallelism: 1,
+		Source: fixedRateSource(100, simtime.Ms(1), 8),
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "sink", Parallelism: 2,
+		NewLogic: func() dataflow.Logic { s := sinks[next]; next++; return s },
+	})
+	g.Connect("src", "sink", dataflow.ExchangeRebalance)
+	s := simtime.NewScheduler()
+	rt := New(s, g, nil, Config{Seed: 1, MarkerInterval: -1})
+	rt.Start()
+	s.Run()
+	if sink0.Records != 50 || sink1.Records != 50 {
+		t.Fatalf("rebalance split %d/%d, want 50/50", sink0.Records, sink1.Records)
+	}
+}
+
+func TestBroadcastDuplicatesToAllInstances(t *testing.T) {
+	sink0 := NewCollectSink()
+	sink1 := NewCollectSink()
+	sinks := []*CollectSink{sink0, sink1}
+	var next int
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "src", Parallelism: 1,
+		Source: fixedRateSource(40, simtime.Ms(1), 8),
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "sink", Parallelism: 2,
+		NewLogic: func() dataflow.Logic { s := sinks[next]; next++; return s },
+	})
+	g.Connect("src", "sink", dataflow.ExchangeBroadcast)
+	s := simtime.NewScheduler()
+	rt := New(s, g, nil, Config{Seed: 1, MarkerInterval: -1})
+	rt.Start()
+	s.Run()
+	if sink0.Records != 40 || sink1.Records != 40 {
+		t.Fatalf("broadcast delivered %d/%d, want 40/40", sink0.Records, sink1.Records)
+	}
+}
+
+func TestPauseDataHoldsRecordsPassesControl(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 1, 1000)
+	src := rt.Instance("src", 0)
+	rt.Start()
+	rt.RunFor(simtime.Ms(50))
+	emitted := rt.Throughput.Total()
+	src.PauseData = true
+	rt.RunFor(simtime.Ms(200))
+	if rt.Throughput.Total() != emitted {
+		t.Fatalf("paused source emitted %d more records", rt.Throughput.Total()-emitted)
+	}
+	if src.BacklogLen() == 0 {
+		t.Fatal("ingest should keep accumulating in the backlog")
+	}
+	src.PauseData = false
+	src.Wake()
+	rt.RunFor(simtime.Sec(5))
+	if rt.Throughput.Total() <= emitted {
+		t.Fatal("source never resumed")
+	}
+}
+
+func TestPauseAfterCkptArmsExactlyOnce(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 1, 2000)
+	src := rt.Instance("src", 0)
+	rt.Start()
+	rt.RunFor(simtime.Ms(20))
+	id := rt.TriggerCheckpoint(nil)
+	src.PauseAfterCkpt = id
+	rt.RunFor(simtime.Ms(300))
+	if !src.PauseData {
+		t.Fatal("source should have paused at the barrier")
+	}
+	if src.PauseAfterCkpt != 0 {
+		t.Fatal("arm flag should clear after firing")
+	}
+}
+
+func TestScaleBarrierDefaultAlignForward(t *testing.T) {
+	// Without any hook, a coupled scale barrier aligns at an operator and is
+	// forwarded downstream exactly once.
+	rt, _ := buildSimpleJob(t, 2, 1, 50)
+	rt.Start()
+	rt.RunFor(simtime.Ms(10))
+	for _, src := range rt.Instances("src") {
+		src.BroadcastControl(&netsim.ScaleBarrier{ScaleID: 5, Round: 0})
+	}
+	rt.RunFor(simtime.Sec(2))
+	sinkIn := rt.Instance("sink", 0)
+	// The sink consumed the forwarded barrier from its single agg channel;
+	// the agg instance must have forwarded exactly one (aligned) copy.
+	var sawForwarded uint64
+	for _, e := range sinkIn.InEdges() {
+		sawForwarded += e.Delivered
+	}
+	if sawForwarded == 0 {
+		t.Fatal("nothing reached the sink")
+	}
+	agg := rt.Instance("agg", 0)
+	if agg.EdgeBlocked(agg.InEdges()[0]) || agg.EdgeBlocked(agg.InEdges()[1]) {
+		t.Fatal("alignment blocks not released")
+	}
+}
+
+func TestSendControlTargetsOneInstance(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 2, 10)
+	src := rt.Instance("src", 0)
+	rt.Start()
+	src.SendControl("agg", 1, &netsim.ScaleBarrier{ScaleID: 9})
+	rt.RunFor(simtime.Ms(10))
+	e0 := src.OutEdges("agg")[0]
+	find := func(e *netsim.Edge) bool {
+		return e.FindInbox(func(m netsim.Message) bool {
+			sb, ok := m.(*netsim.ScaleBarrier)
+			return ok && sb.ScaleID == 9
+		}) >= 0
+	}
+	if find(e0) {
+		t.Fatal("barrier leaked to instance 0")
+	}
+	// Instance 1 either holds it or already consumed it (alignment with one
+	// pred completes immediately and forwards) — consumption is fine; what
+	// matters is it never reached instance 0.
+}
+
+func TestAuxiliaryEdgeTransparentToWatermarks(t *testing.T) {
+	// A re-route channel must not hold back the receiver's watermark.
+	var wms []simtime.Time
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "src", Parallelism: 1,
+		Source: fixedRateSource(50, simtime.Ms(2), 8),
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "agg", Parallelism: 2, KeyedInput: true, MaxKeyGroups: 8,
+		NewLogic: func() dataflow.Logic { return &watermarkProbe{out: &wms} },
+	})
+	g.Connect("src", "agg", dataflow.ExchangeKeyed)
+	s := simtime.NewScheduler()
+	rt := New(s, g, nil, Config{Seed: 2, MarkerInterval: -1})
+	// Wire an auxiliary channel into agg[0] before starting.
+	rt.ConnectInstances(rt.Instance("agg", 1), rt.Instance("agg", 0))
+	rt.Start()
+	s.Run()
+	if len(wms) == 0 {
+		t.Fatal("watermarks stalled: the auxiliary edge held back alignment")
+	}
+}
+
+func TestDetachInputRestoresAlignmentCount(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 2, 2, 100)
+	agg := rt.Instance("agg", 0)
+	before := len(agg.InEdges())
+	aux := rt.ConnectInstances(rt.Instance("agg", 1), agg)
+	if len(agg.InEdges()) != before+1 {
+		t.Fatal("aux edge not registered")
+	}
+	rt.DetachInput(agg, aux)
+	if len(agg.InEdges()) != before {
+		t.Fatal("aux edge not detached")
+	}
+	// Checkpoints still complete after attach/detach churn.
+	rt.Start()
+	var done bool
+	rt.Sched.After(simtime.Ms(20), func() {
+		rt.TriggerCheckpoint(func(int64) { done = true })
+	})
+	rt.RunFor(simtime.Sec(3))
+	if !done {
+		t.Fatal("checkpoint failed after detach")
+	}
+}
+
+func TestCostScalesWithNodeSpeed(t *testing.T) {
+	// A slower node must stretch processing time: compare total processed in
+	// a fixed window on nodes of speed 1.0 vs 0.25 under saturation.
+	processed := func(speed float64) uint64 {
+		g := dataflow.NewGraph()
+		g.AddOperator(&dataflow.OperatorSpec{
+			Name: "src", Parallelism: 1,
+			Source: fixedRateSource(5000, simtime.Ms(0.05), 8),
+		})
+		g.AddOperator(&dataflow.OperatorSpec{
+			Name: "agg", Parallelism: 1, KeyedInput: true, MaxKeyGroups: 8,
+			CostPerRecord: simtime.Ms(1),
+			NewLogic:      func() dataflow.Logic { return &KeyedReduceLogic{} },
+		})
+		g.Connect("src", "agg", dataflow.ExchangeKeyed)
+		s := simtime.NewScheduler()
+		rt := New(s, g, nil, Config{Seed: 3, MarkerInterval: -1})
+		rt.Cluster.Node("local").Speed = speed
+		rt.Start()
+		rt.RunFor(simtime.Sec(1))
+		return rt.Instance("agg", 0).Processed
+	}
+	fast := processed(1.0)
+	slow := processed(0.25)
+	if slow*3 > fast {
+		t.Fatalf("speed 0.25 processed %d vs speed 1.0 %d — node speed ignored", slow, fast)
+	}
+}

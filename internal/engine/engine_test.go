@@ -1,0 +1,508 @@
+package engine
+
+import (
+	"testing"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+)
+
+// fixedRateSource ingests n records at the given period, cycling keys over
+// keySpace, then emits a final high watermark.
+func fixedRateSource(n int, period simtime.Duration, keySpace uint64) dataflow.SourceFunc {
+	return func(ctx dataflow.SourceContext) {
+		var emit func(i int)
+		emit = func(i int) {
+			if i >= n {
+				ctx.EmitWatermark(simtime.Time(1 << 50))
+				return
+			}
+			ctx.Ingest(&netsim.Record{
+				Key:       uint64(i)%keySpace + 1,
+				EventTime: ctx.Now(),
+				Size:      64,
+				Data:      1.0,
+			})
+			if i%10 == 9 {
+				ctx.EmitWatermark(ctx.Now())
+			}
+			ctx.After(period, func() { emit(i + 1) })
+		}
+		emit(0)
+	}
+}
+
+// buildSimpleJob returns a src → agg(keyed) → sink job and the sink logic.
+func buildSimpleJob(t *testing.T, srcP, aggP int, n int) (*Runtime, *CollectSink) {
+	t.Helper()
+	sink := NewCollectSink()
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "src", Parallelism: srcP,
+		Source: fixedRateSource(n, simtime.Ms(1), 16),
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "agg", Parallelism: aggP, KeyedInput: true, MaxKeyGroups: 32,
+		CostPerRecord: simtime.Ms(0.1),
+		NewLogic:      func() dataflow.Logic { return &KeyedReduceLogic{EmitUpdates: true} },
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "sink", Parallelism: 1,
+		NewLogic: func() dataflow.Logic { return sink },
+	})
+	g.Connect("src", "agg", dataflow.ExchangeKeyed)
+	g.Connect("agg", "sink", dataflow.ExchangeRebalance)
+	s := simtime.NewScheduler()
+	rt := New(s, g, nil, Config{Seed: 7})
+	return rt, sink
+}
+
+func TestPipelineDeliversAllRecords(t *testing.T) {
+	rt, sink := buildSimpleJob(t, 2, 3, 200)
+	rt.Start()
+	rt.RunFor(simtime.Sec(10))
+	// 2 sources × 200 records each.
+	if sink.Records != 400 {
+		t.Fatalf("sink saw %d records, want 400", sink.Records)
+	}
+	if d := sink.Duplicates(); d != 0 {
+		t.Fatalf("%d duplicated seqs", d)
+	}
+}
+
+func TestKeyedRoutingPartitionsByKeyGroup(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 3, 300)
+	rt.Start()
+	rt.RunFor(simtime.Sec(10))
+	// Each agg instance must only hold keys of its own key groups.
+	for _, in := range rt.Instances("agg") {
+		st := in.Store()
+		for _, kg := range st.Groups() {
+			g := st.Group(kg)
+			for k := range g.Entries {
+				if got := kgOf(k, 32); got != kg {
+					t.Fatalf("key %d in group %d, hashes to %d", k, kg, got)
+				}
+			}
+		}
+	}
+	// All three instances should have processed something.
+	for _, in := range rt.Instances("agg") {
+		if in.Processed == 0 {
+			t.Fatalf("instance %s processed nothing", in.Name())
+		}
+	}
+}
+
+func kgOf(k uint64, maxKG int) int {
+	return int(stateKeyGroupOf(k, maxKG))
+}
+
+// stateKeyGroupOf avoids importing state twice in tests.
+func stateKeyGroupOf(k uint64, maxKG int) int {
+	h := k
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(maxKG))
+}
+
+func TestLatencyMarkersMeasured(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 2, 500)
+	rt.Start()
+	rt.RunFor(simtime.Sec(5))
+	if rt.Latency.Series.Len() == 0 {
+		t.Fatal("no latency samples")
+	}
+	st := rt.Latency.Series.StatsIn(0, simtime.Time(simtime.Sec(5)))
+	if st.Mean <= 0 {
+		t.Fatalf("mean latency %v", st.Mean)
+	}
+	if st.Mean > 100 {
+		t.Fatalf("unloaded pipeline mean latency %vms is implausible", st.Mean)
+	}
+}
+
+func TestThroughputTracked(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 2, 2, 300)
+	rt.Start()
+	rt.RunFor(simtime.Sec(5))
+	if rt.Throughput.Total() != 600 {
+		t.Fatalf("throughput total %d", rt.Throughput.Total())
+	}
+}
+
+func TestKeyedReduceAggregation(t *testing.T) {
+	rt, sink := buildSimpleJob(t, 1, 2, 160)
+	rt.Start()
+	rt.RunFor(simtime.Sec(10))
+	// 160 records over 16 keys → 10 each; running sum emits 1..10 per key;
+	// the sink sums the emitted updates: 55 per key.
+	for k := uint64(1); k <= 16; k++ {
+		if sink.ByKey[k] != 55 {
+			t.Fatalf("key %d sum %v, want 55", k, sink.ByKey[k])
+		}
+	}
+}
+
+func TestWatermarkAlignmentMultiInput(t *testing.T) {
+	// Two sources with different watermark paces: the keyed operator's
+	// watermark must follow the minimum.
+	var wms []simtime.Time
+	g := dataflow.NewGraph()
+	mk := func(name string, wmEvery simtime.Duration) {
+		g.AddOperator(&dataflow.OperatorSpec{
+			Name: name, Parallelism: 1,
+			Source: func(ctx dataflow.SourceContext) {
+				var tick func(i int)
+				tick = func(i int) {
+					if i >= 20 {
+						return
+					}
+					ctx.Ingest(&netsim.Record{Key: uint64(i + 1), EventTime: ctx.Now(), Size: 64})
+					ctx.EmitWatermark(ctx.Now())
+					ctx.After(wmEvery, func() { tick(i + 1) })
+				}
+				tick(0)
+			},
+		})
+	}
+	mk("fast", simtime.Ms(10))
+	mk("slow", simtime.Ms(50))
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "agg", Parallelism: 1, KeyedInput: true, MaxKeyGroups: 8,
+		NewLogic: func() dataflow.Logic {
+			return &watermarkProbe{out: &wms}
+		},
+	})
+	g.Connect("fast", "agg", dataflow.ExchangeKeyed)
+	g.Connect("slow", "agg", dataflow.ExchangeKeyed)
+	s := simtime.NewScheduler()
+	rt := New(s, g, nil, Config{Seed: 1, MarkerInterval: -1})
+	rt.Start()
+	rt.RunFor(simtime.Sec(3))
+	if len(wms) == 0 {
+		t.Fatal("no watermarks observed")
+	}
+	for i := 1; i < len(wms); i++ {
+		if wms[i] <= wms[i-1] {
+			t.Fatalf("watermarks not strictly increasing: %v", wms)
+		}
+	}
+	// The aligned watermark can never exceed the slow source's last emission
+	// (20 ticks × 50ms = ~1s).
+	last := wms[len(wms)-1]
+	if last > simtime.Time(simtime.Sec(1)).Add(simtime.Ms(1)) {
+		t.Fatalf("aligned watermark %v ran ahead of the slow source", last)
+	}
+}
+
+type watermarkProbe struct {
+	out *[]simtime.Time
+}
+
+func (p *watermarkProbe) OnRecord(dataflow.OpContext, *netsim.Record) {}
+func (p *watermarkProbe) OnWatermark(_ dataflow.OpContext, wm simtime.Time) {
+	*p.out = append(*p.out, wm)
+}
+
+func TestSlidingWindowFires(t *testing.T) {
+	sink := NewCollectSink()
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "src", Parallelism: 1,
+		Source: func(ctx dataflow.SourceContext) {
+			var tick func(i int)
+			tick = func(i int) {
+				if i >= 100 {
+					ctx.EmitWatermark(simtime.Time(1 << 50))
+					return
+				}
+				ctx.Ingest(&netsim.Record{
+					Key: uint64(i%4) + 1, EventTime: ctx.Now(),
+					Size: 64, Data: float64(i),
+				})
+				ctx.EmitWatermark(ctx.Now() - simtime.Time(simtime.Ms(1)))
+				ctx.After(simtime.Ms(10), func() { tick(i + 1) })
+			}
+			tick(0)
+		},
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "win", Parallelism: 2, KeyedInput: true, MaxKeyGroups: 8,
+		CostPerRecord: simtime.Ms(0.01),
+		NewLogic: func() dataflow.Logic {
+			return &SlidingWindowLogic{Size: simtime.Ms(200), Slide: simtime.Ms(100)}
+		},
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "sink", Parallelism: 1,
+		NewLogic: func() dataflow.Logic { return sink },
+	})
+	g.Connect("src", "win", dataflow.ExchangeKeyed)
+	g.Connect("win", "sink", dataflow.ExchangeRebalance)
+	s := simtime.NewScheduler()
+	rt := New(s, g, nil, Config{Seed: 3, MarkerInterval: -1})
+	rt.Start()
+	rt.RunFor(simtime.Sec(5))
+	if sink.Records == 0 {
+		t.Fatal("no window emissions")
+	}
+	// Every key should have produced window outputs.
+	for k := uint64(1); k <= 4; k++ {
+		if sink.CountByKey[k] == 0 {
+			t.Fatalf("key %d fired no windows", k)
+		}
+	}
+	// Window state should be trimmed, not grow forever.
+	total := rt.TotalStateBytes("win")
+	if total > 100*24*2 {
+		t.Fatalf("window state not trimmed: %d bytes", total)
+	}
+}
+
+func TestCheckpointCompletes(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 2, 3, 400)
+	rt.Start()
+	var doneAt simtime.Time
+	var doneID int64
+	rt.Sched.After(simtime.Ms(50), func() {
+		id := rt.TriggerCheckpoint(func(id int64) {
+			doneAt = rt.Sched.Now()
+			doneID = id
+		})
+		if id != 1 {
+			t.Fatalf("ckpt id %d", id)
+		}
+	})
+	rt.RunFor(simtime.Sec(10))
+	if doneID != 1 || doneAt == 0 {
+		t.Fatal("checkpoint never completed")
+	}
+	if rt.CheckpointRunning() {
+		t.Fatal("checkpoint still marked running")
+	}
+	// A second checkpoint should work after the first.
+	var second bool
+	rt.TriggerCheckpoint(func(int64) { second = true })
+	rt.RunFor(simtime.Sec(5))
+	if !second {
+		t.Fatal("second checkpoint never completed")
+	}
+}
+
+func TestCheckpointRejectsConcurrent(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 2, 2000)
+	rt.Start()
+	rt.Sched.After(simtime.Ms(10), func() {
+		if rt.TriggerCheckpoint(nil) == -1 {
+			t.Fatal("first checkpoint refused")
+		}
+		if rt.TriggerCheckpoint(nil) != -1 {
+			t.Fatal("concurrent checkpoint accepted")
+		}
+	})
+	rt.RunFor(simtime.Ms(20))
+}
+
+func TestBackpressurePropagatesToSource(t *testing.T) {
+	// A very slow sink with small buffers must throttle the source.
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "src", Parallelism: 1,
+		Source: fixedRateSource(5000, simtime.Ms(0.1), 8),
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "slow", Parallelism: 1, KeyedInput: true, MaxKeyGroups: 8,
+		CostPerRecord: simtime.Ms(5), // 200/s max against 10000/s offered
+		NewLogic:      func() dataflow.Logic { return &KeyedReduceLogic{} },
+	})
+	g.Connect("src", "slow", dataflow.ExchangeKeyed)
+	s := simtime.NewScheduler()
+	rt := New(s, g, nil, Config{Seed: 5, EdgeOutCap: 16, EdgeInCap: 16, MarkerInterval: -1})
+	rt.Start()
+	rt.RunFor(simtime.Sec(2))
+	src := rt.Instance("src", 0)
+	if src.BacklogLen() < 1000 {
+		t.Fatalf("backlog %d; backpressure did not throttle the source", src.BacklogLen())
+	}
+	slow := rt.Instance("slow", 0)
+	if slow.Processed > 500 {
+		t.Fatalf("slow op processed %d in 2s at 5ms/record", slow.Processed)
+	}
+}
+
+func TestAddInstanceWiring(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 2, 3, 100)
+	rt.Start()
+	rt.RunFor(simtime.Ms(50))
+	in := rt.AddInstance("agg", 3)
+	if in.Name() != "agg[3]" {
+		t.Fatalf("name %s", in.Name())
+	}
+	// Inputs: one edge from each of 2 source instances.
+	if len(in.InEdges()) != 2 {
+		t.Fatalf("inputs %d", len(in.InEdges()))
+	}
+	// Outputs: one edge to the sink.
+	if len(in.OutEdges("sink")) != 1 {
+		t.Fatalf("outputs %d", len(in.OutEdges("sink")))
+	}
+	// Each source instance now has 4 agg out-edges.
+	for _, src := range rt.Instances("src") {
+		if len(src.OutEdges("agg")) != 4 {
+			t.Fatalf("src out edges %d", len(src.OutEdges("agg")))
+		}
+	}
+	// New instance owns no key groups and receives no traffic yet.
+	if len(in.Store().Groups()) != 0 {
+		t.Fatal("new instance should own nothing")
+	}
+	rt.RunFor(simtime.Sec(5))
+	if in.Processed != 0 {
+		t.Fatalf("unrouted instance processed %d records", in.Processed)
+	}
+}
+
+func TestAddInstanceOutOfOrderPanics(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.AddInstance("agg", 5)
+}
+
+// gateHook blocks records of chosen key groups, for suspension testing.
+type gateHook struct {
+	BaseHook
+	blocked map[int]bool
+}
+
+func (h *gateHook) Processable(_ *Instance, r *netsim.Record, _ *netsim.Edge) bool {
+	return !h.blocked[r.KeyGroup]
+}
+
+func TestSuspensionAccountingViaHook(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 1, 200)
+	agg := rt.Instance("agg", 0)
+	hook := &gateHook{blocked: map[int]bool{}}
+	for kg := 0; kg < 32; kg++ {
+		hook.blocked[kg] = true // block everything
+	}
+	agg.SetHook(hook)
+	rt.Start()
+	rt.RunFor(simtime.Sec(1))
+	if agg.Processed != 0 {
+		t.Fatalf("blocked instance processed %d", agg.Processed)
+	}
+	if !agg.Suspended() {
+		t.Fatal("instance should be suspended")
+	}
+	// Unblock: processing resumes and suspension closes.
+	hook.blocked = map[int]bool{}
+	agg.Wake()
+	rt.RunFor(simtime.Sec(5))
+	if agg.Processed == 0 {
+		t.Fatal("instance never resumed")
+	}
+	rt.Scale.CloseAllSuspensions(rt.Sched.Now())
+	if rt.Scale.CumulativeSuspension() < simtime.Ms(900) {
+		t.Fatalf("suspension %v, want ≥900ms", rt.Scale.CumulativeSuspension())
+	}
+}
+
+func TestRedirectPending(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 2, 10)
+	src := rt.Instance("src", 0)
+	e0 := src.OutEdges("agg")[0]
+	e1 := src.OutEdges("agg")[1]
+	// Manufacture pending emissions directly.
+	src.pending = []pendingEmit{
+		{edge: e0, msg: &netsim.Record{Key: 1, KeyGroup: 3}},
+		{edge: e0, msg: &netsim.Record{Key: 2, KeyGroup: 4}},
+	}
+	n := src.RedirectPending(e0, e1, func(r *netsim.Record) bool { return r.KeyGroup == 3 })
+	if n != 1 {
+		t.Fatalf("redirected %d", n)
+	}
+	if src.pending[0].edge != e1 || src.pending[1].edge != e0 {
+		t.Fatal("wrong pending retargeting")
+	}
+}
+
+func TestHaltFreezesInstance(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 1, 500)
+	agg := rt.Instance("agg", 0)
+	rt.Start()
+	rt.RunFor(simtime.Ms(50))
+	before := agg.Processed
+	agg.Halted = true
+	rt.RunFor(simtime.Ms(200))
+	if agg.Processed != before {
+		t.Fatalf("halted instance processed %d more records", agg.Processed-before)
+	}
+	agg.Halted = false
+	agg.Wake()
+	rt.RunFor(simtime.Sec(5))
+	if agg.Processed <= before {
+		t.Fatal("instance never resumed after halt")
+	}
+}
+
+func TestMarkerBypassesWindowing(t *testing.T) {
+	// Markers must reach the sink even though the window operator only emits
+	// on watermark firing.
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "src", Parallelism: 1,
+		Source: fixedRateSource(50, simtime.Ms(5), 4),
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "win", Parallelism: 1, KeyedInput: true, MaxKeyGroups: 8,
+		NewLogic: func() dataflow.Logic {
+			return &SlidingWindowLogic{Size: simtime.Sec(100), Slide: simtime.Sec(50)}
+		},
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "sink", Parallelism: 1,
+		NewLogic: func() dataflow.Logic { return NewCollectSink() },
+	})
+	g.Connect("src", "win", dataflow.ExchangeKeyed)
+	g.Connect("win", "sink", dataflow.ExchangeRebalance)
+	s := simtime.NewScheduler()
+	rt := New(s, g, nil, Config{Seed: 9, MarkerInterval: simtime.Ms(20)})
+	var markers int
+	rt.OnMarkerSink = func(*netsim.Record) { markers++ }
+	rt.Start()
+	rt.RunFor(simtime.Sec(1))
+	if markers == 0 {
+		t.Fatal("no markers reached the sink through the window operator")
+	}
+	if rt.Latency.Series.Len() != markers {
+		t.Fatalf("latency samples %d != markers %d", rt.Latency.Series.Len(), markers)
+	}
+}
+
+func TestDebugStringContainsInstances(t *testing.T) {
+	rt, _ := buildSimpleJob(t, 1, 2, 10)
+	s := rt.DebugString()
+	for _, want := range []string{"src[0]", "agg[0]", "agg[1]", "sink[0]"} {
+		if !contains(s, want) {
+			t.Fatalf("debug string missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

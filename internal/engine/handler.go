@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"drrs/internal/netsim"
+)
+
+// NextStatus reports the outcome of an input-handler poll.
+type NextStatus int
+
+// Poll outcomes.
+const (
+	// NextIdle: no consumable input exists right now.
+	NextIdle NextStatus = iota
+	// NextOK: a message was consumed and should be processed.
+	NextOK
+	// NextSuspended: input is queued but the head is unprocessable — the
+	// instance is suspension-blocked waiting for state migration. This is
+	// the Ls the paper measures.
+	NextSuspended
+)
+
+// InputHandler selects the next message an instance processes. It is the
+// seam the paper's Scale Input Handler (B1) replaces: the native handler
+// implements stock Flink behaviour; mechanisms install their own.
+type InputHandler interface {
+	Next(in *Instance) (netsim.Message, *netsim.Edge, NextStatus)
+}
+
+// NativeHandler models Flink's stock input gate: it serves channels in
+// round-robin order of data availability, and once it commits to a channel
+// whose head record cannot be processed, the whole task blocks on it until
+// the record becomes processable — exactly the baseline suspension behaviour
+// the paper attacks with Record Scheduling.
+type NativeHandler struct {
+	rr    int
+	stuck *netsim.Edge
+}
+
+// Next implements InputHandler.
+func (h *NativeHandler) Next(in *Instance) (netsim.Message, *netsim.Edge, NextStatus) {
+	if h.stuck != nil {
+		e := h.stuck
+		if in.EdgeBlocked(e) || e.InboxLen() == 0 {
+			// The committed channel went away (alignment block or a priority
+			// message consumed elsewhere); release the commitment.
+			h.stuck = nil
+		} else {
+			m := e.InboxAt(0)
+			if !in.CanProcess(m, e) {
+				return nil, e, NextSuspended
+			}
+			h.stuck = nil
+			return e.PopInbox(), e, NextOK
+		}
+	}
+	n := len(in.InEdges())
+	if n == 0 {
+		return nil, nil, NextIdle
+	}
+	for k := 0; k < n; k++ {
+		h.rr = (h.rr + 1) % n
+		e := in.InEdges()[h.rr]
+		if in.EdgeBlocked(e) || e.InboxLen() == 0 {
+			continue
+		}
+		m := e.InboxAt(0)
+		if !in.CanProcess(m, e) {
+			// Commit to this channel and block: stock engines cannot skip
+			// within or across channels once data is at the gate.
+			h.stuck = e
+			return nil, e, NextSuspended
+		}
+		return e.PopInbox(), e, NextOK
+	}
+	return nil, nil, NextIdle
+}

@@ -1,0 +1,646 @@
+package engine
+
+import (
+	"fmt"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+	"drrs/internal/state"
+)
+
+// ScaleHook is the seam through which a scaling mechanism attaches to an
+// instance. A nil hook (or the embedded BaseHook defaults) yields plain
+// non-scaling behaviour.
+type ScaleHook interface {
+	// Processable gates a data record: false means the record must not be
+	// processed yet (its state is not local / not yet activated).
+	Processable(in *Instance, r *netsim.Record, e *netsim.Edge) bool
+	// BeforeRecord intercepts a data record already popped for processing.
+	// Return true when the hook consumed it (e.g. re-routed it).
+	BeforeRecord(in *Instance, r *netsim.Record, e *netsim.Edge) bool
+	// OnScaleMessage handles scaling control messages (trigger/confirm/scale
+	// barriers, rerouted messages, in-band state chunks). Return true when
+	// consumed; unconsumed scale barriers get default align-and-forward
+	// treatment.
+	OnScaleMessage(in *Instance, m netsim.Message, e *netsim.Edge) bool
+	// OnCheckpointBarrier intercepts checkpoint barriers (DRRS's Fig 9
+	// integration). Return true when fully handled.
+	OnCheckpointBarrier(in *Instance, b *netsim.CheckpointBarrier, e *netsim.Edge) bool
+}
+
+// BaseHook is a no-op ScaleHook for embedding.
+type BaseHook struct{}
+
+// Processable implements ScaleHook.
+func (BaseHook) Processable(*Instance, *netsim.Record, *netsim.Edge) bool { return true }
+
+// BeforeRecord implements ScaleHook.
+func (BaseHook) BeforeRecord(*Instance, *netsim.Record, *netsim.Edge) bool { return false }
+
+// OnScaleMessage implements ScaleHook.
+func (BaseHook) OnScaleMessage(*Instance, netsim.Message, *netsim.Edge) bool { return false }
+
+// OnCheckpointBarrier implements ScaleHook.
+func (BaseHook) OnCheckpointBarrier(*Instance, *netsim.CheckpointBarrier, *netsim.Edge) bool {
+	return false
+}
+
+type pendingEmit struct {
+	edge *netsim.Edge
+	msg  netsim.Message
+}
+
+// Instance is one parallel subtask of an operator.
+type Instance struct {
+	rt    *Runtime
+	Spec  *dataflow.OperatorSpec
+	Index int
+
+	ins     []*netsim.Edge
+	outs    map[string][]*netsim.Edge
+	routing map[string]*dataflow.RoutingTable
+	rrNext  map[string]int
+
+	store   *state.Store
+	logic   dataflow.Logic
+	handler InputHandler
+	hook    ScaleHook
+
+	busy    bool
+	pending []pendingEmit
+	// Halted freezes the instance entirely (Stop-Checkpoint-Restart).
+	Halted bool
+	// PauseData stops a source from emitting data records while letting
+	// control messages through (Stop-Checkpoint-Restart quiesces this way:
+	// the checkpoint barrier passes, data stays in the ingest backlog).
+	PauseData bool
+	// PauseAfterCkpt arms PauseData: the source pauses itself right after
+	// emitting the checkpoint barrier with this id.
+	PauseAfterCkpt int64
+
+	blockedEdges map[*netsim.Edge]bool
+	aligners     map[string]map[*netsim.Edge]bool
+
+	wmPer map[*netsim.Edge]simtime.Time
+	curWM simtime.Time
+
+	backlog netsim.Deque[netsim.Message]
+	srcRng  *simtime.RNG
+
+	suspended  bool
+	wakeQueued bool
+	costRng    *simtime.RNG
+
+	// Processed counts data records handled by this instance.
+	Processed uint64
+}
+
+func (rt *Runtime) newInstance(spec *dataflow.OperatorSpec, idx int) *Instance {
+	in := &Instance{
+		rt:           rt,
+		Spec:         spec,
+		Index:        idx,
+		outs:         make(map[string][]*netsim.Edge),
+		routing:      make(map[string]*dataflow.RoutingTable),
+		rrNext:       make(map[string]int),
+		blockedEdges: make(map[*netsim.Edge]bool),
+		aligners:     make(map[string]map[*netsim.Edge]bool),
+		wmPer:        make(map[*netsim.Edge]simtime.Time),
+		curWM:        -1,
+		costRng:      simtime.NewRNG(rt.Cfg.Seed, fmt.Sprintf("cost/%s/%d", spec.Name, idx)),
+		srcRng:       simtime.NewRNG(rt.Cfg.Seed, fmt.Sprintf("src/%s/%d", spec.Name, idx)),
+	}
+	maxKG := spec.MaxKeyGroups
+	if maxKG == 0 {
+		maxKG = 128
+	}
+	in.store = state.NewStore(maxKG)
+	if spec.NewLogic != nil {
+		in.logic = spec.NewLogic()
+	}
+	in.handler = &NativeHandler{}
+	return in
+}
+
+// Endpoint identifies this instance as a channel endpoint.
+func (in *Instance) Endpoint() netsim.Endpoint {
+	return netsim.Endpoint{Op: in.Spec.Name, Index: in.Index}
+}
+
+// Name returns "op[idx]".
+func (in *Instance) Name() string { return in.Endpoint().String() }
+
+// Store exposes the instance's keyed state.
+func (in *Instance) Store() *state.Store { return in.store }
+
+// Logic exposes the instance's operator logic (tests inspect sinks this way).
+func (in *Instance) Logic() dataflow.Logic { return in.logic }
+
+// Runtime returns the owning runtime.
+func (in *Instance) Runtime() *Runtime { return in.rt }
+
+// SetHandler replaces the input handler (DRRS's Scale Input Handler seam).
+func (in *Instance) SetHandler(h InputHandler) { in.handler = h }
+
+// Handler returns the current input handler.
+func (in *Instance) Handler() InputHandler { return in.handler }
+
+// SetHook installs a scaling hook.
+func (in *Instance) SetHook(h ScaleHook) { in.hook = h }
+
+// Hook returns the installed scaling hook, or nil.
+func (in *Instance) Hook() ScaleHook { return in.hook }
+
+// InEdges returns the instance's input channels in wiring order.
+func (in *Instance) InEdges() []*netsim.Edge { return in.ins }
+
+// OutEdges returns the channels toward a downstream operator, indexed by the
+// target instance index.
+func (in *Instance) OutEdges(op string) []*netsim.Edge { return in.outs[op] }
+
+// Routing returns this instance's routing table toward a keyed downstream
+// operator.
+func (in *Instance) Routing(op string) *dataflow.RoutingTable { return in.routing[op] }
+
+// SetRouting replaces a routing table (used when installing planned tables).
+func (in *Instance) SetRouting(op string, rt *dataflow.RoutingTable) { in.routing[op] = rt }
+
+func (in *Instance) addInput(e *netsim.Edge) { in.ins = append(in.ins, e) }
+func (in *Instance) addOutput(op string, idx int, e *netsim.Edge) {
+	edges := in.outs[op]
+	if idx != len(edges) {
+		panic(fmt.Sprintf("engine: out-of-order wiring %s→%s[%d], have %d", in.Name(), op, idx, len(edges)))
+	}
+	in.outs[op] = append(edges, e)
+}
+
+// BlockEdge excludes an input channel from the handler (alignment blocking).
+func (in *Instance) BlockEdge(e *netsim.Edge) { in.blockedEdges[e] = true }
+
+// UnblockEdge re-admits a blocked channel and wakes the instance.
+func (in *Instance) UnblockEdge(e *netsim.Edge) {
+	delete(in.blockedEdges, e)
+	in.Wake()
+}
+
+// EdgeBlocked reports whether e is alignment-blocked.
+func (in *Instance) EdgeBlocked(e *netsim.Edge) bool { return in.blockedEdges[e] }
+
+// BacklogLen reports the source backlog size (0 for non-sources).
+func (in *Instance) BacklogLen() int { return in.backlog.Len() }
+
+// Suspended reports whether the instance is currently suspension-blocked.
+func (in *Instance) Suspended() bool { return in.suspended }
+
+// Wake schedules a processing attempt. Wakes coalesce: any number of calls
+// before the next step produce a single step. The indirection through the
+// scheduler keeps the engine free of reentrant processing.
+func (in *Instance) Wake() {
+	if in.wakeQueued {
+		return
+	}
+	in.wakeQueued = true
+	in.rt.Sched.After(0, in.step)
+}
+
+func (in *Instance) step() {
+	in.wakeQueued = false
+	if in.Halted || in.busy {
+		return
+	}
+	if len(in.pending) > 0 && !in.drainPending() {
+		return // blocked on output; edge wake will retry
+	}
+	if in.Spec.Source != nil {
+		in.drainBacklog()
+		return
+	}
+	msg, edge, st := in.handler.Next(in)
+	switch st {
+	case NextOK:
+		in.noteSuspend(false)
+		in.process(msg, edge)
+	case NextSuspended:
+		in.noteSuspend(true)
+	case NextIdle:
+		in.noteSuspend(false)
+	}
+}
+
+func (in *Instance) noteSuspend(on bool) {
+	if on == in.suspended {
+		return
+	}
+	in.suspended = on
+	if on {
+		in.rt.Scale.SuspendBegin(in.Name(), in.rt.Sched.Now())
+	} else {
+		in.rt.Scale.SuspendEnd(in.Name(), in.rt.Sched.Now())
+	}
+}
+
+// CanProcess is the handler-side processability test: control messages and
+// latency markers always pass; data records — including rerouted ones, which
+// wait in the re-route channel until their state chunk lands — are gated by
+// the scaling hook.
+func (in *Instance) CanProcess(m netsim.Message, e *netsim.Edge) bool {
+	if rr, ok := m.(*netsim.Rerouted); ok {
+		if inner, ok := rr.Inner.(*netsim.Record); ok && !inner.Marker && in.hook != nil {
+			return in.hook.Processable(in, inner, e)
+		}
+		return true
+	}
+	r, ok := m.(*netsim.Record)
+	if !ok || r.Marker {
+		return true
+	}
+	if in.hook == nil {
+		return true
+	}
+	return in.hook.Processable(in, r, e)
+}
+
+const controlCost = 10 * simtime.Microsecond
+
+func (in *Instance) costOf(m netsim.Message) simtime.Duration {
+	switch r := m.(type) {
+	case *netsim.Record:
+		if r.Marker {
+			return 2 * controlCost
+		}
+		c := in.costRng.Jitter(in.Spec.CostPerRecord, in.Spec.CostJitter)
+		speed := in.rt.Cluster.SpeedOf(in.Endpoint())
+		if speed != 1.0 && speed > 0 {
+			c = simtime.Duration(float64(c) / speed)
+		}
+		return c
+	case *netsim.Rerouted:
+		// A rerouted data record costs what a record costs; wrapped control
+		// messages stay cheap.
+		if inner, ok := r.Inner.(*netsim.Record); ok && !inner.Marker {
+			return in.costOf(inner)
+		}
+		return controlCost
+	default:
+		return controlCost
+	}
+}
+
+func (in *Instance) process(m netsim.Message, e *netsim.Edge) {
+	in.busy = true
+	in.rt.Sched.After(in.costOf(m), func() {
+		in.busy = false
+		in.apply(m, e)
+		in.Wake()
+	})
+}
+
+// apply dispatches one consumed message.
+func (in *Instance) apply(m netsim.Message, e *netsim.Edge) {
+	switch msg := m.(type) {
+	case *netsim.Record:
+		if in.hook != nil && in.hook.BeforeRecord(in, msg, e) {
+			return
+		}
+		if msg.Marker {
+			in.forwardMarker(msg)
+			return
+		}
+		in.Processed++
+		if in.logic != nil {
+			in.logic.OnRecord(in, msg)
+		}
+	case *netsim.Watermark:
+		in.onWatermark(msg, e)
+	case *netsim.CheckpointBarrier:
+		if in.hook != nil && in.hook.OnCheckpointBarrier(in, msg, e) {
+			return
+		}
+		in.onCheckpointBarrier(msg, e)
+	default:
+		if in.hook != nil && in.hook.OnScaleMessage(in, m, e) {
+			return
+		}
+		if sb, ok := m.(*netsim.ScaleBarrier); ok {
+			in.defaultScaleBarrier(sb, e)
+		}
+		// Other unhandled scale messages are dropped; mechanisms install
+		// hooks wherever their messages can arrive.
+	}
+}
+
+// --- OpContext implementation (what operator logic sees) ---
+
+// Emit routes a record to all downstream operators. With multiple outputs the
+// record is copied per output stream.
+func (in *Instance) Emit(r *netsim.Record) {
+	outs := in.rt.Graph.Outputs(in.Spec.Name)
+	for i, se := range outs {
+		rec := r
+		if i > 0 {
+			c := *r
+			rec = &c
+		}
+		in.routeTo(se, rec)
+	}
+}
+
+// Now implements dataflow.OpContext.
+func (in *Instance) Now() simtime.Time { return in.rt.Sched.Now() }
+
+// State implements dataflow.OpContext.
+func (in *Instance) State() *state.Store { return in.store }
+
+// InstanceIndex implements dataflow.OpContext.
+func (in *Instance) InstanceIndex() int { return in.Index }
+
+// CurrentWatermark implements dataflow.OpContext.
+func (in *Instance) CurrentWatermark() simtime.Time { return in.curWM }
+
+func (in *Instance) routeTo(se dataflow.StreamEdge, r *netsim.Record) {
+	edges := in.outs[se.To]
+	if len(edges) == 0 {
+		return
+	}
+	switch se.Exchange {
+	case dataflow.ExchangeKeyed:
+		toSpec := in.rt.Graph.Operator(se.To)
+		kg := state.KeyGroupOf(r.Key, toSpec.MaxKeyGroups)
+		r.KeyGroup = kg
+		idx := in.routing[se.To].Owner(kg)
+		in.send(edges[idx], r)
+	case dataflow.ExchangeRebalance:
+		i := in.rrNext[se.To]
+		in.rrNext[se.To] = (i + 1) % len(edges)
+		in.send(edges[i], r)
+	case dataflow.ExchangeBroadcast:
+		for i, e := range edges {
+			rec := r
+			if i > 0 {
+				c := *r
+				rec = &c
+			}
+			in.send(e, rec)
+		}
+	}
+}
+
+// send enqueues m on e, preserving emission order through the pending queue
+// when the edge refuses (backpressure).
+func (in *Instance) send(e *netsim.Edge, m netsim.Message) {
+	if len(in.pending) > 0 || !e.TrySend(m) {
+		in.pending = append(in.pending, pendingEmit{edge: e, msg: m})
+	}
+}
+
+func (in *Instance) drainPending() bool {
+	for len(in.pending) > 0 {
+		pe := in.pending[0]
+		if !pe.edge.TrySend(pe.msg) {
+			return false
+		}
+		in.pending = in.pending[1:]
+	}
+	return true
+}
+
+// PendingEmits reports the blocked-emission queue length.
+func (in *Instance) PendingEmits() int { return len(in.pending) }
+
+// RedirectPending retargets blocked emissions matching take from one edge to
+// another (part of DRRS's output-cache redirection: the pending queue is the
+// tail of the output cache).
+func (in *Instance) RedirectPending(from, to *netsim.Edge, take func(*netsim.Record) bool) int {
+	var n int
+	for i := range in.pending {
+		if in.pending[i].edge != from {
+			continue
+		}
+		if r, ok := in.pending[i].msg.(*netsim.Record); ok && take(r) {
+			in.pending[i].edge = to
+			n++
+		}
+	}
+	return n
+}
+
+// broadcastControl enqueues a control message to every output edge of every
+// downstream operator, preserving order relative to pending records.
+func (in *Instance) broadcastControl(m netsim.Message) {
+	for _, se := range in.rt.Graph.Outputs(in.Spec.Name) {
+		for _, e := range in.outs[se.To] {
+			in.send(e, m)
+		}
+	}
+}
+
+// ForwardMarker passes a latency marker downstream, or records its latency at
+// a sink; exported for scaling hooks that consume rerouted markers.
+func (in *Instance) ForwardMarker(r *netsim.Record) { in.forwardMarker(r) }
+
+// forwardMarker passes a latency marker downstream, or records its latency at
+// a sink (no outputs).
+func (in *Instance) forwardMarker(r *netsim.Record) {
+	outs := in.rt.Graph.Outputs(in.Spec.Name)
+	if len(outs) == 0 {
+		in.rt.Latency.Observe(in.rt.Sched.Now(), r.IngestTime)
+		if in.rt.OnMarkerSink != nil {
+			in.rt.OnMarkerSink(r)
+		}
+		return
+	}
+	in.Emit(r)
+}
+
+// --- Watermarks ---
+
+func (in *Instance) onWatermark(w *netsim.Watermark, e *netsim.Edge) {
+	if e != nil {
+		in.wmPer[e] = w.WM
+	}
+	min := simtime.Time(-1)
+	for _, edge := range in.ins {
+		wm, ok := in.wmPer[edge]
+		if !ok {
+			return // some channel has no watermark yet
+		}
+		if min == -1 || wm < min {
+			min = wm
+		}
+	}
+	if min > in.curWM {
+		in.curWM = min
+		if in.logic != nil {
+			in.logic.OnWatermark(in, min)
+		}
+		in.broadcastControl(&netsim.Watermark{WM: min})
+	}
+}
+
+// SeedWatermark initializes a channel's watermark (used when a scaling
+// mechanism wires a new instance so its windows don't stall forever).
+func (in *Instance) SeedWatermark(e *netsim.Edge, wm simtime.Time) {
+	if _, ok := in.wmPer[e]; !ok {
+		in.wmPer[e] = wm
+	}
+}
+
+// --- Alignment machinery (checkpoints and coupled scale barriers) ---
+
+// AlignOn is the exported alignment primitive for scaling mechanisms: it
+// records that the barrier identified by key arrived on e, blocks e, and
+// reports whether every current input channel has delivered it.
+func (in *Instance) AlignOn(key string, e *netsim.Edge) bool { return in.alignOn(key, e) }
+
+// ReleaseAlignment unblocks the channels captured under key.
+func (in *Instance) ReleaseAlignment(key string) { in.releaseAlignment(key) }
+
+// BroadcastControl enqueues a control message on every output edge,
+// preserving order relative to pending emissions.
+func (in *Instance) BroadcastControl(m netsim.Message) { in.broadcastControl(m) }
+
+// SendControl enqueues a control message toward one downstream instance,
+// preserving order relative to pending emissions.
+func (in *Instance) SendControl(op string, idx int, m netsim.Message) {
+	in.send(in.outs[op][idx], m)
+}
+
+// alignOn records that barrier key arrived on e, blocks e, and reports
+// whether all current input channels have now delivered it.
+func (in *Instance) alignOn(key string, e *netsim.Edge) bool {
+	set := in.aligners[key]
+	if set == nil {
+		set = make(map[*netsim.Edge]bool)
+		in.aligners[key] = set
+	}
+	if e != nil {
+		set[e] = true
+		in.BlockEdge(e)
+	}
+	return len(set) >= len(in.ins)
+}
+
+// releaseAlignment unblocks the channels captured under key.
+func (in *Instance) releaseAlignment(key string) {
+	for e := range in.aligners[key] {
+		in.UnblockEdge(e)
+	}
+	delete(in.aligners, key)
+}
+
+func (in *Instance) onCheckpointBarrier(b *netsim.CheckpointBarrier, e *netsim.Edge) {
+	key := fmt.Sprintf("ckpt:%d", b.ID)
+	in.alignOn(key, e)
+	// A checkpoint expects barriers only on the ordinary channels that
+	// existed when it was triggered: channels wired mid-scaling (new
+	// instances, re-route paths) never carry this barrier.
+	started := in.rt.ckptStarted(b.ID)
+	expected := 0
+	for _, edge := range in.ins {
+		if !edge.Auxiliary && edge.Created <= started {
+			expected++
+		}
+	}
+	if len(in.aligners[key]) < expected {
+		return
+	}
+	// Aligned: snapshot, forward, unblock.
+	snapCost := simtime.Duration(float64(in.store.TotalBytes()) / in.rt.Cfg.SnapshotBytesPerSec * float64(simtime.Second))
+	in.busy = true
+	in.rt.Sched.After(snapCost, func() {
+		in.busy = false
+		in.broadcastControl(&netsim.CheckpointBarrier{ID: b.ID})
+		in.releaseAlignment(key)
+		in.rt.ackCheckpoint(b.ID, in.Name())
+		// Replay any integrated DRRS signals behind the barrier (Fig 9a).
+		for _, im := range b.Integrated {
+			if in.hook != nil {
+				in.hook.OnScaleMessage(in, im, e)
+			}
+		}
+		in.Wake()
+	})
+}
+
+// defaultScaleBarrier is the non-participating-operator behaviour for coupled
+// scaling signals: align, then forward (no state action).
+func (in *Instance) defaultScaleBarrier(b *netsim.ScaleBarrier, e *netsim.Edge) {
+	key := fmt.Sprintf("scale:%d:%d", b.ScaleID, b.Round)
+	if !in.alignOn(key, e) {
+		return
+	}
+	in.broadcastControl(&netsim.ScaleBarrier{ScaleID: b.ScaleID, Round: b.Round})
+	in.releaseAlignment(key)
+}
+
+// --- Source machinery ---
+
+type sourceContext struct{ in *Instance }
+
+func (c sourceContext) Now() simtime.Time { return c.in.rt.Sched.Now() }
+func (c sourceContext) After(d simtime.Duration, fn func()) {
+	c.in.rt.Sched.After(d, fn)
+}
+func (c sourceContext) Ingest(r *netsim.Record) { c.in.ingest(r) }
+func (c sourceContext) EmitWatermark(wm simtime.Time) {
+	c.in.backlog.PushBack(&netsim.Watermark{WM: wm})
+	c.in.Wake()
+}
+func (c sourceContext) InstanceIndex() int { return c.in.Index }
+func (c sourceContext) BacklogLen() int    { return c.in.backlog.Len() }
+
+func (in *Instance) startSource() {
+	in.Spec.Source(sourceContext{in: in})
+}
+
+func (in *Instance) ingest(r *netsim.Record) {
+	if r.IngestTime == 0 {
+		r.IngestTime = in.rt.Sched.Now()
+	}
+	if r.Seq == 0 {
+		r.Seq = in.rt.NextSeq()
+	}
+	in.backlog.PushBack(r)
+	in.Wake()
+}
+
+// drainBacklog emits queued source messages until backpressure bites (or the
+// source is data-paused).
+func (in *Instance) drainBacklog() {
+	for in.backlog.Len() > 0 {
+		if len(in.pending) > 0 && !in.drainPending() {
+			return
+		}
+		if in.PauseData {
+			if _, isRec := in.backlog.At(0).(*netsim.Record); isRec {
+				return
+			}
+		}
+		m := in.backlog.PopFront()
+		switch msg := m.(type) {
+		case *netsim.Record:
+			if !msg.Marker {
+				in.rt.Throughput.Observe(in.rt.Sched.Now(), 1)
+			}
+			in.Emit(msg)
+		case *netsim.Watermark:
+			in.broadcastControl(msg)
+		default:
+			in.broadcastControl(m)
+			if cb, ok := m.(*netsim.CheckpointBarrier); ok && in.PauseAfterCkpt != 0 && cb.ID == in.PauseAfterCkpt {
+				in.PauseData = true
+				in.PauseAfterCkpt = 0
+			}
+		}
+	}
+}
+
+// sourceEmitBarrier injects a checkpoint barrier at a source: the source
+// snapshots immediately (offsets are trivial) and the barrier joins the
+// stream behind already-emitted records.
+func (in *Instance) sourceEmitBarrier(b *netsim.CheckpointBarrier) {
+	in.backlog.PushBack(b)
+	in.rt.ackCheckpoint(b.ID, in.Name())
+	in.Wake()
+}

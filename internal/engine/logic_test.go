@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"testing"
+
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+	"drrs/internal/state"
+)
+
+// fakeCtx is a minimal OpContext for exercising operator logic directly.
+type fakeCtx struct {
+	store *state.Store
+	now   simtime.Time
+	out   []*netsim.Record
+}
+
+func newFakeCtx() *fakeCtx {
+	st := state.NewStore(8)
+	for kg := 0; kg < 8; kg++ {
+		st.OwnGroup(kg)
+	}
+	return &fakeCtx{store: st}
+}
+
+func (c *fakeCtx) Emit(r *netsim.Record)              { c.out = append(c.out, r) }
+func (c *fakeCtx) Now() simtime.Time                  { return c.now }
+func (c *fakeCtx) State() *state.Store                { return c.store }
+func (c *fakeCtx) InstanceIndex() int                 { return 0 }
+func (c *fakeCtx) CurrentWatermark() simtime.Time     { return c.now }
+
+func rec(key uint64, at simtime.Time, v float64) *netsim.Record {
+	return &netsim.Record{Key: key, EventTime: at, Data: v}
+}
+
+func TestSlidingWindowExactContents(t *testing.T) {
+	ctx := newFakeCtx()
+	l := &SlidingWindowLogic{Size: 100, Slide: 50}
+	l.OnWatermark(ctx, 0) // init the grid
+	// Values at t=10, 60, 110 for key 1.
+	l.OnRecord(ctx, rec(1, 10, 5))
+	l.OnRecord(ctx, rec(1, 60, 7))
+	l.OnRecord(ctx, rec(1, 110, 3))
+	l.OnWatermark(ctx, 100) // fires windows ending at 50 and 100
+	// Window (−50,50]: contains t=10 → max 5. Window (0,100]: 5,7 → 7.
+	if len(ctx.out) != 2 {
+		t.Fatalf("fired %d windows, want 2", len(ctx.out))
+	}
+	if ctx.out[0].Data.(float64) != 5 || ctx.out[1].Data.(float64) != 7 {
+		t.Fatalf("window values %v, %v", ctx.out[0].Data, ctx.out[1].Data)
+	}
+	ctx.out = nil
+	l.OnWatermark(ctx, 220) // windows ending 150, 200 contain t=60?,110
+	// (50,150]: 7 at 60, 3 at 110 → 7; (100,200]: 3 → 3; plus empty (150,250] not yet.
+	if len(ctx.out) != 2 {
+		t.Fatalf("fired %d windows, want 2 (150 and 200)", len(ctx.out))
+	}
+	if ctx.out[0].Data.(float64) != 7 || ctx.out[1].Data.(float64) != 3 {
+		t.Fatalf("window values %v, %v", ctx.out[0].Data, ctx.out[1].Data)
+	}
+}
+
+func TestSlidingWindowEvictsOldState(t *testing.T) {
+	ctx := newFakeCtx()
+	l := &SlidingWindowLogic{Size: 100, Slide: 50, BytesPerEntry: 10}
+	l.OnWatermark(ctx, 0)
+	l.OnRecord(ctx, rec(1, 10, 1))
+	if ctx.store.TotalBytes() != 10 {
+		t.Fatalf("bytes %d", ctx.store.TotalBytes())
+	}
+	l.OnWatermark(ctx, 300) // far beyond t=10+Size: entry evicted, key deleted
+	if ctx.store.TotalBytes() != 0 || ctx.store.KeyCount() != 0 {
+		t.Fatalf("stale window state retained: %d bytes, %d keys",
+			ctx.store.TotalBytes(), ctx.store.KeyCount())
+	}
+}
+
+func TestSlidingWindowHugeWatermarkJump(t *testing.T) {
+	// A stream-end watermark jump of ~10^9 slides must not iterate the grid:
+	// the catch-up path fires only candidate ends.
+	ctx := newFakeCtx()
+	l := &SlidingWindowLogic{Size: simtime.Duration(100), Slide: simtime.Duration(50)}
+	l.OnWatermark(ctx, 0)
+	l.OnRecord(ctx, rec(1, 60, 9))
+	l.OnWatermark(ctx, simtime.Time(1)<<50)
+	// The record's only non-empty windows end at 100 and 150.
+	if len(ctx.out) != 2 {
+		t.Fatalf("catch-up fired %d windows, want 2", len(ctx.out))
+	}
+	for _, r := range ctx.out {
+		if r.Data.(float64) != 9 {
+			t.Fatalf("bad catch-up value %v", r.Data)
+		}
+	}
+}
+
+func TestWindowJoinMatchesBothSidesOnly(t *testing.T) {
+	ctx := newFakeCtx()
+	l := &WindowJoinLogic{Size: 100, Slide: 100}
+	l.OnWatermark(ctx, 0)
+	// Key 1: both sides. Key 2: left only.
+	l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: 10, Data: JoinSide{Left: true, Value: 1}})
+	l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: 20, Data: JoinSide{Left: false, Value: 1}})
+	l.OnRecord(ctx, &netsim.Record{Key: 2, EventTime: 30, Data: JoinSide{Left: true, Value: 1}})
+	l.OnWatermark(ctx, 100)
+	if len(ctx.out) != 1 {
+		t.Fatalf("join fired %d matches, want 1", len(ctx.out))
+	}
+	if ctx.out[0].Key != 1 || ctx.out[0].Data.(float64) != 1 {
+		t.Fatalf("bad match %+v", ctx.out[0])
+	}
+}
+
+func TestWindowJoinPairCount(t *testing.T) {
+	ctx := newFakeCtx()
+	l := &WindowJoinLogic{Size: 100, Slide: 100}
+	l.OnWatermark(ctx, 0)
+	for i := 0; i < 3; i++ {
+		l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: simtime.Time(10 + i), Data: JoinSide{Left: true}})
+	}
+	for i := 0; i < 2; i++ {
+		l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: simtime.Time(40 + i), Data: JoinSide{Left: false}})
+	}
+	l.OnWatermark(ctx, 100)
+	if len(ctx.out) != 1 || ctx.out[0].Data.(float64) != 6 {
+		t.Fatalf("want 3×2=6 pairs, got %v", ctx.out)
+	}
+}
+
+func TestMapLogicDropAndTransform(t *testing.T) {
+	ctx := newFakeCtx()
+	drop := &MapLogic{Fn: func(r *netsim.Record) *netsim.Record {
+		if r.Key%2 == 0 {
+			return nil
+		}
+		r.Data = 42.0
+		return r
+	}}
+	drop.OnRecord(ctx, rec(1, 0, 0))
+	drop.OnRecord(ctx, rec(2, 0, 0))
+	if len(ctx.out) != 1 || ctx.out[0].Data.(float64) != 42 {
+		t.Fatalf("map output %v", ctx.out)
+	}
+	// Identity map forwards untouched.
+	ctx.out = nil
+	(&MapLogic{}).OnRecord(ctx, rec(3, 0, 0))
+	if len(ctx.out) != 1 || ctx.out[0].Key != 3 {
+		t.Fatal("identity map broken")
+	}
+}
+
+func TestKeyedReduceCustomReducer(t *testing.T) {
+	ctx := newFakeCtx()
+	l := &KeyedReduceLogic{
+		Reduce: func(acc float64, r *netsim.Record) float64 {
+			v := r.Data.(float64)
+			if v > acc {
+				return v
+			}
+			return acc
+		},
+	}
+	for _, v := range []float64{3, 9, 5} {
+		l.OnRecord(ctx, rec(1, 0, v))
+	}
+	got, _ := ctx.store.Get(1)
+	if got.(float64) != 9 {
+		t.Fatalf("running max %v", got)
+	}
+}
+
+func TestRecordValueCoercion(t *testing.T) {
+	cases := []struct {
+		in   any
+		want float64
+	}{{3.5, 3.5}, {int(2), 2}, {int64(7), 7}, {"x", 1}, {nil, 1}}
+	for _, c := range cases {
+		if got := recordValue(&netsim.Record{Data: c.in}); got != c.want {
+			t.Fatalf("recordValue(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

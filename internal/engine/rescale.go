@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+)
+
+// AddInstance creates instance idx of an already-running operator and wires
+// it to every predecessor and successor instance. The new instance owns no
+// key groups and receives no traffic until predecessors' routing tables are
+// updated — exactly the state a scaling mechanism starts from after physical
+// deployment (the paper's Deploy Updater, B0).
+//
+// Returns the new instance. idx must equal the operator's current instance
+// count (instances are appended).
+func (rt *Runtime) AddInstance(op string, idx int) *Instance {
+	spec := rt.Graph.Operator(op)
+	if spec == nil {
+		panic(fmt.Sprintf("engine: AddInstance on unknown operator %s", op))
+	}
+	if idx != len(rt.instances[op]) {
+		panic(fmt.Sprintf("engine: AddInstance %s[%d] out of order (have %d)", op, idx, len(rt.instances[op])))
+	}
+	in := rt.newInstance(spec, idx)
+	rt.instances[op] = append(rt.instances[op], in)
+
+	// Wire from every predecessor instance.
+	for _, se := range rt.Graph.Inputs(op) {
+		for _, from := range rt.instances[se.From] {
+			rt.wire(from, in, se)
+		}
+	}
+	// Wire toward every successor instance, and copy routing tables so the
+	// new instance routes like its siblings.
+	for _, se := range rt.Graph.Outputs(op) {
+		for _, to := range rt.instances[se.To] {
+			rt.wire(in, to, se)
+		}
+		if se.Exchange == dataflow.ExchangeKeyed {
+			if sib := rt.Instance(op, 0); sib != nil && sib.routing[se.To] != nil {
+				in.routing[se.To] = sib.routing[se.To].Clone()
+			}
+		}
+	}
+	// Seed watermarks on the new instance's inputs with the predecessors'
+	// current output watermark view so event-time processing can make
+	// progress; affected data-driven messages are duplicated to both streams
+	// per the paper's compatibility rule.
+	for _, e := range in.ins {
+		in.SeedWatermark(e, -1)
+	}
+	return in
+}
+
+// ConnectInstances wires a dedicated auxiliary channel between two live
+// instances (DRRS's re-route path from the scaling-out instance to the
+// scaling-in instance). The channel is registered as an input of dst so
+// handlers poll it like any other channel. Its watermark is seeded
+// "transparent" (effectively +inf) so it never holds back the receiver's
+// aligned watermark — rerouted records are Ep-epoch stragglers, not a
+// watermarked stream of their own.
+func (rt *Runtime) ConnectInstances(src, dst *Instance) *netsim.Edge {
+	e := netsim.NewEdge(rt.Sched, src.Endpoint(), dst.Endpoint(), rt.edgeConfig())
+	e.Auxiliary = true
+	e.SetReceiver(func(*netsim.Edge) { dst.Wake() })
+	e.SetSenderWake(func() { src.Wake() })
+	dst.addInput(e)
+	dst.SeedWatermark(e, simtime.Time(1)<<62)
+	return e
+}
+
+// DetachInput removes an auxiliary input channel from dst (scaling cleanup,
+// so alignment counts return to normal after the scaling completes).
+func (rt *Runtime) DetachInput(dst *Instance, e *netsim.Edge) {
+	for i, have := range dst.ins {
+		if have == e {
+			dst.ins = append(dst.ins[:i], dst.ins[i+1:]...)
+			delete(dst.wmPer, e)
+			delete(dst.blockedEdges, e)
+			return
+		}
+	}
+}
+
+// PredecessorInstances returns the live instances of every direct
+// predecessor operator of op.
+func (rt *Runtime) PredecessorInstances(op string) []*Instance {
+	var out []*Instance
+	for _, p := range rt.Graph.Predecessors(op) {
+		out = append(out, rt.instances[p]...)
+	}
+	return out
+}

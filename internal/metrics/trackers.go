@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"sort"
+
+	"drrs/internal/simtime"
+)
+
+// LatencyTracker records end-to-end latencies of latency markers as they
+// reach the sink, mirroring the paper's measurement methodology (markers flow
+// through the system as regular records and bypass windowing).
+type LatencyTracker struct {
+	Series *Series
+}
+
+// NewLatencyTracker returns an empty tracker.
+func NewLatencyTracker() *LatencyTracker {
+	return &LatencyTracker{Series: NewSeries("latency_ms")}
+}
+
+// Observe records that a marker emitted at emit arrived at the sink at now.
+func (l *LatencyTracker) Observe(now, emit simtime.Time) {
+	l.Series.Append(now, now.Sub(emit).Millis())
+}
+
+// PeakIn returns the maximum latency in [from, to) in milliseconds.
+func (l *LatencyTracker) PeakIn(from, to simtime.Time) float64 {
+	return l.Series.StatsIn(from, to).Max
+}
+
+// AvgIn returns the mean latency in [from, to) in milliseconds.
+func (l *LatencyTracker) AvgIn(from, to simtime.Time) float64 {
+	return l.Series.StatsIn(from, to).Mean
+}
+
+// StabilizesAt implements the paper's scaling-period rule: the scaling period
+// ends at the first instant t >= start such that every latency sample in
+// [t, t+hold) stays within tolerance× the pre-scaling level. It returns the
+// end of the scaling period and whether stabilization was observed before the
+// series ran out (a series that never stabilizes reports the last sample
+// time, false).
+//
+// The paper uses tolerance = 1.10 and hold = 100 s.
+func (l *LatencyTracker) StabilizesAt(start simtime.Time, preLevel float64, tolerance float64, hold simtime.Duration) (simtime.Time, bool) {
+	return StabilizesOn(l.Series.Points(), start, preLevel, tolerance, hold)
+}
+
+// StabilizesSmoothed applies the scaling-period rule to the bucket-averaged
+// latency curve instead of raw samples — matching the paper, whose latency
+// plots (and therefore its stabilization reading) are per-interval averages.
+// Raw markers have a heavy tail even in steady state, which would make the
+// rule unsatisfiable.
+func (l *LatencyTracker) StabilizesSmoothed(bucket simtime.Duration, start simtime.Time, preLevel float64, tolerance float64, hold simtime.Duration) (simtime.Time, bool) {
+	return StabilizesOn(l.Series.Downsample(bucket), start, preLevel, tolerance, hold)
+}
+
+// StabilizesOn implements the rule over an explicit sample sequence.
+func StabilizesOn(pts []Point, start simtime.Time, preLevel float64, tolerance float64, hold simtime.Duration) (simtime.Time, bool) {
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].At >= start })
+	limit := preLevel * tolerance
+	for ; i < len(pts); i++ {
+		if pts[i].V > limit {
+			continue
+		}
+		// candidate window start: all samples in [pts[i].At, +hold) must hold
+		end := pts[i].At.Add(hold)
+		ok := true
+		j := i
+		for ; j < len(pts) && pts[j].At < end; j++ {
+			if pts[j].V > limit {
+				ok = false
+				break
+			}
+		}
+		if ok && (j >= len(pts) || pts[j].At >= end) {
+			if j >= len(pts) && (len(pts) == 0 || pts[len(pts)-1].At < end) {
+				// Series ended before the hold window completed: inconclusive,
+				// but accept if the window start plus hold is past series end
+				// and everything seen held.
+				return pts[i].At, true
+			}
+			return pts[i].At, true
+		}
+		i = j // skip past the violating sample
+	}
+	if len(pts) == 0 {
+		return start, false
+	}
+	return pts[len(pts)-1].At, false
+}
+
+// ThroughputTracker counts source emissions into fixed buckets and exposes a
+// records/second series, matching the paper's "output rate of the source
+// operators" metric.
+type ThroughputTracker struct {
+	Bucket simtime.Duration
+	counts map[int64]int64
+	maxB   int64
+	minB   int64
+	has    bool
+}
+
+// NewThroughputTracker returns a tracker with the given bucket width
+// (the paper plots per-second throughput).
+func NewThroughputTracker(bucket simtime.Duration) *ThroughputTracker {
+	return &ThroughputTracker{Bucket: bucket, counts: make(map[int64]int64)}
+}
+
+// Observe counts n records emitted at time now.
+func (t *ThroughputTracker) Observe(now simtime.Time, n int64) {
+	b := int64(now) / int64(t.Bucket)
+	t.counts[b] += n
+	if !t.has || b > t.maxB {
+		t.maxB = b
+	}
+	if !t.has || b < t.minB {
+		t.minB = b
+	}
+	t.has = true
+}
+
+// Series materializes the per-bucket rate series in records/second, with
+// zero-filled gaps so stalls are visible.
+func (t *ThroughputTracker) Series() *Series {
+	s := NewSeries("throughput_rps")
+	if !t.has {
+		return s
+	}
+	perSec := float64(simtime.Second) / float64(t.Bucket)
+	for b := t.minB; b <= t.maxB; b++ {
+		s.Append(simtime.Time(b*int64(t.Bucket)), float64(t.counts[b])*perSec)
+	}
+	return s
+}
+
+// Total reports the total records observed.
+func (t *ThroughputTracker) Total() int64 {
+	var sum int64
+	for _, c := range t.counts {
+		sum += c
+	}
+	return sum
+}
+
+// DeviationFrom computes the paper's Fig 15 metric: the mean shortfall of the
+// measured rate below the target input rate over [from, to), in records/s.
+// Overshoot (catch-up flushes) does not offset shortfall; the paper's metric
+// penalizes time spent below the offered load.
+func (t *ThroughputTracker) DeviationFrom(target float64, from, to simtime.Time) float64 {
+	s := t.Series()
+	pts := s.Slice(from, to)
+	if len(pts) == 0 {
+		return target
+	}
+	var dev float64
+	for _, p := range pts {
+		if p.V < target {
+			dev += target - p.V
+		}
+	}
+	return dev / float64(len(pts))
+}

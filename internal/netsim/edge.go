@@ -1,0 +1,279 @@
+package netsim
+
+import (
+	"fmt"
+
+	"drrs/internal/simtime"
+)
+
+// Endpoint names one operator instance as a channel endpoint.
+type Endpoint struct {
+	Op    string
+	Index int
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%s[%d]", e.Op, e.Index) }
+
+// Edge is a point-to-point channel between two operator instances.
+//
+// A message first enters the sender-side outbox (Flink's output cache). The
+// link drains the outbox in order: each message occupies the link for
+// size/Bandwidth (serialization) and arrives Latency later (propagation is
+// pipelined). On arrival it joins the receiver-side inbox, except trigger
+// barriers, which jump to the inbox front (priority arrival).
+//
+// Backpressure: TrySend refuses records when the outbox is at capacity, and
+// the link stalls when the inbox (including in-flight messages) is full; the
+// sender is woken asynchronously when outbox space frees.
+type Edge struct {
+	sched *simtime.Scheduler
+
+	Src, Dst Endpoint
+	// Created is when the edge was wired; checkpoint alignment only expects
+	// barriers on channels that existed when the checkpoint was triggered.
+	Created simtime.Time
+	// Auxiliary marks out-of-band channels (DRRS re-route paths) that never
+	// carry checkpoint barriers.
+	Auxiliary bool
+	Latency   simtime.Duration
+	Bandwidth float64 // bytes/second; <= 0 means infinite
+	OutCap    int     // records; <= 0 means unbounded
+	InCap     int     // records; <= 0 means unbounded
+
+	outbox Deque[Message]
+	inbox  Deque[Message]
+
+	inFlight      int
+	linkBusyUntil simtime.Time
+
+	onArrival  func(*Edge)
+	onOutSpace func()
+	wakeQueued bool
+
+	// Delivered counts messages that reached the inbox, for tests and debug.
+	Delivered uint64
+	// DeliveredBytes counts payload bytes that reached the inbox.
+	DeliveredBytes uint64
+}
+
+// EdgeConfig bundles the link parameters for NewEdge.
+type EdgeConfig struct {
+	Latency   simtime.Duration
+	Bandwidth float64
+	OutCap    int
+	InCap     int
+}
+
+// NewEdge builds an edge between src and dst on the given scheduler.
+func NewEdge(s *simtime.Scheduler, src, dst Endpoint, cfg EdgeConfig) *Edge {
+	return &Edge{
+		sched:     s,
+		Src:       src,
+		Dst:       dst,
+		Created:   s.Now(),
+		Latency:   cfg.Latency,
+		Bandwidth: cfg.Bandwidth,
+		OutCap:    cfg.OutCap,
+		InCap:     cfg.InCap,
+	}
+}
+
+// SetReceiver installs the arrival callback (the receiving instance's wake).
+func (e *Edge) SetReceiver(fn func(*Edge)) { e.onArrival = fn }
+
+// SetSenderWake installs the callback fired (asynchronously) when outbox
+// space frees up, so a blocked sender can resume emitting.
+func (e *Edge) SetSenderWake(fn func()) { e.onOutSpace = fn }
+
+// TrySend enqueues m into the outbox. It refuses data records (including
+// rerouted ones) when the outbox is full — that is backpressure — but always
+// accepts control messages, whose loss or blockage would deadlock the
+// protocol. Reports whether the message was accepted.
+func (e *Edge) TrySend(m Message) bool {
+	if e.OutCap > 0 && e.outbox.Len() >= e.OutCap {
+		switch m.MsgKind() {
+		case KindRecord, KindRerouted, KindStateChunk:
+			return false
+		}
+	}
+	e.outbox.PushBack(m)
+	e.pump()
+	return true
+}
+
+// SendPriority pushes m to the front of the outbox, bypassing all queued
+// output (the trigger-barrier path, and the confirm barrier's output-cache
+// priority).
+func (e *Edge) SendPriority(m Message) {
+	e.outbox.PushFront(m)
+	e.pump()
+}
+
+// ForceSend appends m to the outbox regardless of capacity. Used for
+// redirection: records extracted from another edge's output cache must land
+// here without being dropped, even under backpressure.
+func (e *Edge) ForceSend(m Message) {
+	e.outbox.PushBack(m)
+	e.pump()
+}
+
+func (e *Edge) inboxSpace() bool {
+	return e.InCap <= 0 || e.inbox.Len()+e.inFlight < e.InCap
+}
+
+// isDataKind reports whether a message consumes buffer capacity; control
+// messages (barriers, watermarks) always flow, so a full input buffer cannot
+// stall a priority trigger barrier sitting at the outbox front.
+func isDataKind(m Message) bool {
+	switch m.MsgKind() {
+	case KindRecord, KindRerouted, KindStateChunk:
+		return true
+	}
+	return false
+}
+
+// pump moves messages from the outbox onto the link while the inbox has
+// room. Transmission is pipelined: the link serializes messages back to back
+// and propagation latency overlaps.
+func (e *Edge) pump() {
+	freed := false
+	now := e.sched.Now()
+	for e.outbox.Len() > 0 {
+		if isDataKind(e.outbox.At(0)) && !e.inboxSpace() {
+			break
+		}
+		m := e.outbox.PopFront()
+		freed = true
+		var ser simtime.Duration
+		if e.Bandwidth > 0 {
+			ser = simtime.Duration(float64(m.SizeBytes()) / e.Bandwidth * float64(simtime.Second))
+		}
+		depart := now
+		if e.linkBusyUntil > depart {
+			depart = e.linkBusyUntil
+		}
+		e.linkBusyUntil = depart.Add(ser)
+		arrive := e.linkBusyUntil.Add(e.Latency)
+		e.inFlight++
+		msg := m
+		e.sched.At(arrive, func() { e.arrive(msg) })
+	}
+	if freed {
+		e.wakeSender()
+	}
+}
+
+func (e *Edge) wakeSender() {
+	if e.onOutSpace == nil || e.wakeQueued {
+		return
+	}
+	e.wakeQueued = true
+	e.sched.After(0, func() {
+		e.wakeQueued = false
+		e.onOutSpace()
+	})
+}
+
+func (e *Edge) arrive(m Message) {
+	e.inFlight--
+	if m.MsgKind() == KindTriggerBarrier {
+		e.inbox.PushFront(m)
+	} else {
+		e.inbox.PushBack(m)
+	}
+	e.Delivered++
+	e.DeliveredBytes += uint64(m.SizeBytes())
+	if e.onArrival != nil {
+		e.onArrival(e)
+	}
+}
+
+// InboxLen reports the number of arrived, unconsumed messages.
+func (e *Edge) InboxLen() int { return e.inbox.Len() }
+
+// InboxAt peeks at inbox depth i (0 = next to be consumed).
+func (e *Edge) InboxAt(i int) Message { return e.inbox.At(i) }
+
+// PopInbox consumes the inbox head and re-pumps the link.
+func (e *Edge) PopInbox() Message {
+	m := e.inbox.PopFront()
+	e.pump()
+	return m
+}
+
+// RemoveInboxAt consumes the message at depth i (Intra-channel Scheduling)
+// and re-pumps the link.
+func (e *Edge) RemoveInboxAt(i int) Message {
+	m := e.inbox.RemoveAt(i)
+	e.pump()
+	return m
+}
+
+// PushFrontInbox returns a message to the inbox head (used when a handler
+// peeks a message it cannot yet consume).
+func (e *Edge) PushFrontInbox(m Message) { e.inbox.PushFront(m) }
+
+// OutboxLen reports the number of messages waiting in the output cache.
+func (e *Edge) OutboxLen() int { return e.outbox.Len() }
+
+// OutboxAt peeks at outbox depth i (0 = next to transmit).
+func (e *Edge) OutboxAt(i int) Message { return e.outbox.At(i) }
+
+// InFlight reports messages currently on the link.
+func (e *Edge) InFlight() int { return e.inFlight }
+
+// QueuedTotal reports outbox + in-flight + inbox occupancy.
+func (e *Edge) QueuedTotal() int { return e.outbox.Len() + e.inFlight + e.inbox.Len() }
+
+// ExtractOutbox removes every queued message for which take returns true,
+// scanning from the front and stopping (exclusively) at the first message for
+// which stop returns true. Extracted messages keep their relative order.
+// Messages already on the link cannot be extracted — exactly the paper's
+// semantics, where in-flight records become Ep records handled by re-routing.
+func (e *Edge) ExtractOutbox(take func(Message) bool, stop func(Message) bool) []Message {
+	var out []Message
+	for i := 0; i < e.outbox.Len(); {
+		m := e.outbox.At(i)
+		if stop != nil && stop(m) {
+			break
+		}
+		if take(m) {
+			out = append(out, e.outbox.RemoveAt(i))
+			continue
+		}
+		i++
+	}
+	if len(out) > 0 {
+		e.wakeSender()
+	}
+	return out
+}
+
+// InsertOutboxAt places m at outbox depth i (for checkpoint-integrated DRRS
+// signals that must sit immediately behind a checkpoint barrier).
+func (e *Edge) InsertOutboxAt(i int, m Message) {
+	e.outbox.InsertAt(i, m)
+	e.pump()
+}
+
+// FindOutbox returns the depth of the first outbox message satisfying pred,
+// or -1.
+func (e *Edge) FindOutbox(pred func(Message) bool) int {
+	for i := 0; i < e.outbox.Len(); i++ {
+		if pred(e.outbox.At(i)) {
+			return i
+		}
+	}
+	return -1
+}
+
+// FindInbox returns the depth of the first inbox message satisfying pred, or
+// -1.
+func (e *Edge) FindInbox(pred func(Message) bool) int {
+	for i := 0; i < e.inbox.Len(); i++ {
+		if pred(e.inbox.At(i)) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,177 @@
+// Package scaletest is the shared harness for exercising scaling mechanisms
+// on the custom workload: it runs a seeded job, triggers one scaling
+// operation mid-stream, drains the pipeline, and exposes the invariant checks
+// (exactly-once delivery, state conservation, participation) that every
+// mechanism's tests assert.
+package scaletest
+
+import (
+	"fmt"
+
+	"drrs/internal/cluster"
+	"drrs/internal/engine"
+	"drrs/internal/scaling"
+	"drrs/internal/simtime"
+	"drrs/internal/state"
+	"drrs/internal/workload"
+)
+
+// Run configures one harness execution.
+type Run struct {
+	// Workload parameterizes the custom job. Duration must be set (the
+	// harness drains to completion).
+	Workload workload.Config
+	// Mechanism is the scaling mechanism under test; nil runs without
+	// scaling (the baseline).
+	Mechanism scaling.Mechanism
+	// ScaleAt is when the scaling request fires.
+	ScaleAt simtime.Duration
+	// NewParallelism is the target parallelism for "agg".
+	NewParallelism int
+	// SetupDelay models deployment time (default 50 ms).
+	SetupDelay simtime.Duration
+	// Cluster optionally supplies a multi-node deployment.
+	Cluster func(s *simtime.Scheduler) *cluster.Cluster
+	// Engine overrides engine defaults (Seed is taken from Workload).
+	Engine engine.Config
+}
+
+// Result is what a harness execution produced.
+type Result struct {
+	RT       *engine.Runtime
+	Sink     *engine.CollectSink
+	Plan     scaling.Plan
+	Mech     scaling.Mechanism
+	Done     bool // the mechanism reported completion
+	ScaleAt  simtime.Time
+	Duration simtime.Duration // virtual time simulated
+}
+
+// Execute runs the configured scenario to quiescence and returns the result.
+func (r Run) Execute() Result {
+	if r.Workload.Duration <= 0 {
+		panic("scaletest: Workload.Duration must be positive")
+	}
+	r.Workload.EmitUpdates = true
+	g, sink := workload.Build(r.Workload)
+	s := simtime.NewScheduler()
+	var cl *cluster.Cluster
+	if r.Cluster != nil {
+		cl = r.Cluster(s)
+	}
+	cfg := r.Engine
+	cfg.Seed = r.Workload.Seed
+	rt := engine.New(s, g, cl, cfg)
+	rt.Start()
+
+	res := Result{RT: rt, Sink: sink, Mech: r.Mechanism}
+	if r.Mechanism != nil {
+		setup := r.SetupDelay
+		if setup == 0 {
+			setup = simtime.Ms(50)
+		}
+		s.After(r.ScaleAt, func() {
+			res.ScaleAt = s.Now()
+			res.Plan = scaling.UniformPlan(g, "agg", r.NewParallelism, setup)
+			r.Mechanism.Start(rt, res.Plan, func() { res.Done = true })
+		})
+	}
+	// Run generation, then drain: markers off, let every queued event (state
+	// transfers, rerouted records, backlogged streams) play out.
+	s.RunUntil(s.Now().Add(r.Workload.Duration))
+	rt.StopMarkers()
+	s.Run()
+	res.Duration = simtime.Duration(s.Now())
+	return res
+}
+
+// CheckExactlyOnce verifies the scaled run delivered exactly the baseline's
+// per-key aggregates: no loss, no duplication, per-key order preserved (the
+// running-sum signature is order-sensitive per key). Returns a description of
+// the first mismatch, or "".
+func CheckExactlyOnce(baseline, scaled Result) string {
+	if got, want := scaled.Sink.Records, baseline.Sink.Records; got != want {
+		return fmt.Sprintf("record count: scaled %d vs baseline %d", got, want)
+	}
+	if d := scaled.Sink.Duplicates(); d != 0 {
+		return fmt.Sprintf("%d duplicated sequence numbers", d)
+	}
+	for k, want := range baseline.Sink.ByKey {
+		if got := scaled.Sink.ByKey[k]; got != want {
+			return fmt.Sprintf("key %d aggregate: scaled %v vs baseline %v", k, got, want)
+		}
+	}
+	for k := range scaled.Sink.ByKey {
+		if _, ok := baseline.Sink.ByKey[k]; !ok {
+			return fmt.Sprintf("key %d appears only in scaled run", k)
+		}
+	}
+	return ""
+}
+
+// CheckPlacement verifies every key group lives exactly where the plan put
+// it, and nowhere else. Returns a description of the first violation, or "".
+func CheckPlacement(res Result) string {
+	rt := res.RT
+	plan := res.Plan
+	spec := rt.Graph.Operator(plan.Operator)
+	owner := make(map[int]int, spec.MaxKeyGroups)
+	for kg := 0; kg < spec.MaxKeyGroups; kg++ {
+		owner[kg] = state.OwnerOf(spec.MaxKeyGroups, plan.OldParallelism, kg)
+	}
+	for _, m := range plan.Moves {
+		owner[m.KeyGroup] = m.To
+	}
+	for _, in := range rt.Instances(plan.Operator) {
+		for _, kg := range in.Store().Groups() {
+			// Empty shells are allowed off-target: Meces keeps them as
+			// serving stubs for potential fetch-backs.
+			g := in.Store().Group(kg)
+			if owner[kg] != in.Index && len(g.Entries) > 0 {
+				return fmt.Sprintf("kg %d found at %s, belongs to instance %d", kg, in.Name(), owner[kg])
+			}
+		}
+	}
+	return ""
+}
+
+// CheckParticipation verifies every new instance processed records. Returns a
+// description of the first idle new instance, or "".
+func CheckParticipation(res Result) string {
+	for idx := res.Plan.OldParallelism; idx < res.Plan.NewParallelism; idx++ {
+		in := res.RT.Instance(res.Plan.Operator, idx)
+		if in == nil {
+			return fmt.Sprintf("instance %d was never created", idx)
+		}
+		if in.Processed == 0 {
+			return fmt.Sprintf("new instance %s processed nothing", in.Name())
+		}
+	}
+	return ""
+}
+
+// SlowMigrationCluster returns a cluster factory whose single node has the
+// given migration bandwidth (bytes/s), making state-transfer time visible in
+// tests.
+func SlowMigrationCluster(bandwidth float64) func(*simtime.Scheduler) *cluster.Cluster {
+	return func(s *simtime.Scheduler) *cluster.Cluster {
+		c := cluster.New(s)
+		c.Node("local").MigrationBandwidth = bandwidth
+		return c
+	}
+}
+
+// DefaultWorkload is a small, fast configuration for mechanism tests.
+func DefaultWorkload(seed int64) workload.Config {
+	return workload.Config{
+		SourceParallelism: 2,
+		AggParallelism:    4,
+		MaxKeyGroups:      32,
+		Keys:              200,
+		RatePerSec:        2000,
+		StateBytesPerKey:  512,
+		CostPerRecord:     50 * simtime.Microsecond,
+		Duration:          simtime.Sec(3),
+		Seed:              seed,
+	}
+}

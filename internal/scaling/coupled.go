@@ -1,0 +1,347 @@
+package scaling
+
+import (
+	"fmt"
+	"sort"
+
+	"drrs/internal/engine"
+	"drrs/internal/netsim"
+)
+
+// CoupledController implements the generalized OTFS synchronization the paper
+// describes in Section II-B: a coupled scaling barrier that serves as both
+// routing confirmation and migration trigger, propagated in-band and aligned
+// with channel blocking at the scaling operator.
+//
+// One controller drives one scaling operation as a sequence of rounds, each
+// reconfiguring a batch of key groups:
+//   - OTFS:        one round covering every move, injected at the sources.
+//   - Megaphone:   many sequential rounds (timestamp-driven reconfigurations)
+//     injected at the predecessors.
+//   - Naive/Subscale-variant division: many rounds launched concurrently —
+//     their alignments interfere through blocked channels (the paper's
+//     Fig 7a), which is exactly the behaviour being measured.
+//
+// Rounds are always injected in the same order at every predecessor, which
+// keeps concurrent alignment deadlock-free (each channel delivers round r's
+// barrier before round r+1's).
+type CoupledController struct {
+	// Fluid selects per-key-group fluid migration (Fig 1c) over all-at-once
+	// (Fig 1b).
+	Fluid bool
+	// InjectAtSources selects source injection (OTFS) over predecessor
+	// injection (Megaphone and division variants).
+	InjectAtSources bool
+	// Concurrent launches every round immediately instead of waiting for the
+	// previous round's migration to finish.
+	Concurrent bool
+	// Scheduling installs DRRS's Record Scheduling input handler on the
+	// scaling instances (the paper's Schedule-only ablation variant). The
+	// handler is provided by the caller to avoid an import cycle.
+	Scheduling func() engine.InputHandler
+	// AnnounceUpfront attributes every round's signal injection to the start
+	// of the scaling operation. Megaphone is timestamp-driven: the whole
+	// reconfiguration schedule is announced once, and rounds merely take
+	// effect as the frontier passes their timestamps — so delay metrics
+	// count from the announcement, which is what makes its cumulative
+	// propagation delay and dependency overhead dominate the paper's Fig 12.
+	AnnounceUpfront bool
+
+	rt      *engine.Runtime
+	plan    Plan
+	scaleID int64
+	mig     *Migrator
+	rounds  [][]int // key groups per round
+	nextInj int     // next round to inject
+	done    func()
+
+	moved    map[int]bool
+	aligned  map[int]map[int]bool // round → old-instance set aligned
+	migDone  map[int]bool         // round → migration complete
+	oldCount int
+	finished bool
+}
+
+var coupledIDs int64
+
+// NewCoupledController builds a controller over the plan with the given
+// round batches (each a slice of key groups). Batches must cover the plan's
+// moves exactly.
+func NewCoupledController(plan Plan, rounds [][]int) *CoupledController {
+	coupledIDs++
+	return &CoupledController{
+		plan:    plan,
+		rounds:  rounds,
+		scaleID: coupledIDs,
+		moved:   plan.MovedSet(),
+		aligned: make(map[int]map[int]bool),
+		migDone: make(map[int]bool),
+	}
+}
+
+// BatchRounds splits the plan's moves into round batches of at most n key
+// groups, in key-group order.
+func BatchRounds(plan Plan, n int) [][]int {
+	kgs := make([]int, 0, len(plan.Moves))
+	for _, m := range plan.Moves {
+		kgs = append(kgs, m.KeyGroup)
+	}
+	sort.Ints(kgs)
+	if n <= 0 {
+		n = len(kgs)
+	}
+	var out [][]int
+	for len(kgs) > 0 {
+		k := n
+		if k > len(kgs) {
+			k = len(kgs)
+		}
+		out = append(out, kgs[:k])
+		kgs = kgs[k:]
+	}
+	return out
+}
+
+func (c *CoupledController) signal(round int) string {
+	return fmt.Sprintf("coupled:%d:r%d", c.scaleID, round)
+}
+
+// Start implements the mechanism flow: deploy, install hooks, run rounds.
+func (c *CoupledController) Start(rt *engine.Runtime, done func()) {
+	c.rt = rt
+	c.done = done
+	c.oldCount = c.plan.OldParallelism
+	for _, m := range c.plan.Moves {
+		// Units are assigned to their round's signal for Fig 12b accounting.
+		for r, kgs := range c.rounds {
+			for _, kg := range kgs {
+				if kg == m.KeyGroup {
+					rt.Scale.UnitAssigned(kg, c.signal(r))
+				}
+			}
+		}
+	}
+	c.mig = NewMigrator(rt, c.plan, nil)
+	if c.AnnounceUpfront {
+		for r := range c.rounds {
+			rt.Scale.SignalInjected(c.signal(r), rt.Sched.Now())
+		}
+	}
+	Deploy(rt, c.plan, func(added []*engine.Instance) {
+		// Hooks on the scaling operator's instances.
+		for _, in := range rt.Instances(c.plan.Operator) {
+			in.SetHook(&coupledOpHook{c: c})
+			if c.Scheduling != nil {
+				in.SetHandler(c.Scheduling())
+			}
+		}
+		// Hooks on direct predecessors (they update routing tables).
+		for _, p := range rt.PredecessorInstances(c.plan.Operator) {
+			p.SetHook(&coupledPredHook{c: c})
+		}
+		if c.Concurrent {
+			for r := range c.rounds {
+				c.injectRound(r)
+			}
+		} else {
+			c.injectRound(0)
+		}
+	})
+}
+
+// injectRound starts round r's synchronization.
+func (c *CoupledController) injectRound(r int) {
+	if r >= len(c.rounds) {
+		return
+	}
+	c.nextInj = r + 1
+	if !c.AnnounceUpfront {
+		c.rt.Scale.SignalInjected(c.signal(r), c.rt.Sched.Now())
+	}
+	barrier := func() *netsim.ScaleBarrier {
+		return &netsim.ScaleBarrier{ScaleID: c.scaleID, Round: r}
+	}
+	if c.InjectAtSources {
+		c.rt.Sched.After(c.rt.Cfg.ControlLatency, func() {
+			for _, name := range c.rt.Graph.Topological() {
+				if c.rt.Graph.Operator(name).Source == nil {
+					continue
+				}
+				for _, src := range c.rt.Instances(name) {
+					// Sources that are also direct predecessors update their
+					// routing when emitting (they are their own injection
+					// point).
+					if c.isPred(src) {
+						c.applyRouting(src, r)
+					}
+					src.BroadcastControl(barrier())
+				}
+			}
+		})
+	} else {
+		c.rt.Sched.After(c.rt.Cfg.ControlLatency, func() {
+			for _, p := range c.rt.PredecessorInstances(c.plan.Operator) {
+				c.applyRouting(p, r)
+				p.BroadcastControl(barrier())
+			}
+		})
+	}
+}
+
+func (c *CoupledController) isPred(in *engine.Instance) bool {
+	for _, p := range c.rt.Graph.Predecessors(c.plan.Operator) {
+		if in.Spec.Name == p {
+			return true
+		}
+	}
+	return false
+}
+
+// applyRouting repoints round r's key groups in one predecessor's table.
+func (c *CoupledController) applyRouting(p *engine.Instance, r int) {
+	tbl := p.Routing(c.plan.Operator)
+	for _, kg := range c.rounds[r] {
+		for _, m := range c.plan.Moves {
+			if m.KeyGroup == kg {
+				tbl.SetOwner(kg, m.To)
+			}
+		}
+	}
+}
+
+// oldInstanceAligned is called when an original scaling instance finishes
+// alignment for round r; migration for the round starts once every original
+// instance aligned.
+func (c *CoupledController) oldInstanceAligned(idx, r int) {
+	set := c.aligned[r]
+	if set == nil {
+		set = make(map[int]bool)
+		c.aligned[r] = set
+	}
+	set[idx] = true
+	if len(set) < c.oldCount {
+		return
+	}
+	// All original instances aligned: migrate this round's groups.
+	sig := c.signal(r)
+	onRoundDone := func() {
+		c.migDone[r] = true
+		c.checkComplete()
+		if !c.Concurrent {
+			if r+1 < len(c.rounds) {
+				c.injectRound(r + 1)
+			}
+		}
+	}
+	if c.Fluid {
+		// Per-source sequential chains run in parallel across sources.
+		bySrc := make(map[int][]int)
+		for _, kg := range c.rounds[r] {
+			mv := c.moveOf(kg)
+			bySrc[mv.From] = append(bySrc[mv.From], kg)
+		}
+		remaining := len(bySrc)
+		for _, kgs := range bySrc {
+			c.mig.MigrateSequence(kgs, sig, func() {
+				remaining--
+				if remaining == 0 {
+					onRoundDone()
+				}
+			})
+		}
+	} else {
+		c.mig.MigrateAllAtOnce(c.rounds[r], sig, onRoundDone)
+	}
+}
+
+func (c *CoupledController) moveOf(kg int) (mv struct{ From, To int }) {
+	for _, m := range c.plan.Moves {
+		if m.KeyGroup == kg {
+			return struct{ From, To int }{m.From, m.To}
+		}
+	}
+	panic("scaling: unknown kg")
+}
+
+func (c *CoupledController) checkComplete() {
+	if c.finished || len(c.migDone) < len(c.rounds) {
+		return
+	}
+	c.finished = true
+	c.rt.Scale.MarkScaleEnd(c.rt.Sched.Now())
+	// Remove hooks; scaling machinery leaves the runtime.
+	for _, in := range c.rt.Instances(c.plan.Operator) {
+		in.SetHook(nil)
+		if c.Scheduling != nil {
+			in.SetHandler(&engine.NativeHandler{})
+		}
+		in.Wake()
+	}
+	for _, p := range c.rt.PredecessorInstances(c.plan.Operator) {
+		p.SetHook(nil)
+	}
+	if c.done != nil {
+		c.done()
+	}
+}
+
+// coupledPredHook updates routing tables at predecessor operators when the
+// source-injected barrier passes through (predecessor-injected rounds update
+// routing at injection instead and the hook only forwards).
+type coupledPredHook struct {
+	engine.BaseHook
+	c *CoupledController
+}
+
+func (h *coupledPredHook) OnScaleMessage(in *engine.Instance, m netsim.Message, e *netsim.Edge) bool {
+	sb, ok := m.(*netsim.ScaleBarrier)
+	if !ok || sb.ScaleID != h.c.scaleID {
+		return false
+	}
+	key := fmt.Sprintf("cp:%d:%d", sb.ScaleID, sb.Round)
+	if !in.AlignOn(key, e) {
+		return true
+	}
+	if h.c.InjectAtSources && in.Spec.Source == nil {
+		// Routing confirmation rides on the barrier: update before
+		// propagating, per the generalized OTFS framework.
+		h.c.applyRouting(in, sb.Round)
+	}
+	in.BroadcastControl(&netsim.ScaleBarrier{ScaleID: sb.ScaleID, Round: sb.Round})
+	in.ReleaseAlignment(key)
+	return true
+}
+
+// coupledOpHook runs on the scaling operator's instances: alignment at the
+// originals triggers migration; record processability gates on migrated
+// state at the new instances.
+type coupledOpHook struct {
+	engine.BaseHook
+	c *CoupledController
+}
+
+func (h *coupledOpHook) OnScaleMessage(in *engine.Instance, m netsim.Message, e *netsim.Edge) bool {
+	sb, ok := m.(*netsim.ScaleBarrier)
+	if !ok || sb.ScaleID != h.c.scaleID {
+		return false
+	}
+	key := fmt.Sprintf("op:%d:%d", sb.ScaleID, sb.Round)
+	if !in.AlignOn(key, e) {
+		return true
+	}
+	in.BroadcastControl(&netsim.ScaleBarrier{ScaleID: sb.ScaleID, Round: sb.Round})
+	in.ReleaseAlignment(key)
+	if in.Index < h.c.plan.OldParallelism {
+		h.c.oldInstanceAligned(in.Index, sb.Round)
+	}
+	return true
+}
+
+func (h *coupledOpHook) Processable(in *engine.Instance, r *netsim.Record, _ *netsim.Edge) bool {
+	if !h.c.moved[r.KeyGroup] {
+		return true
+	}
+	// A migrating group's records are processable wherever its state
+	// currently lives.
+	return in.Store().HasGroup(r.KeyGroup)
+}

@@ -1,0 +1,96 @@
+package megaphone
+
+import (
+	"testing"
+
+	"drrs/internal/scaletest"
+	"drrs/internal/scaling/otfs"
+	"drrs/internal/simtime"
+)
+
+func TestExactlyOnce(t *testing.T) {
+	base := scaletest.Run{Workload: scaletest.DefaultWorkload(31)}.Execute()
+	scaled := scaletest.Run{
+		Workload:       scaletest.DefaultWorkload(31),
+		Mechanism:      &Mechanism{BatchKGs: 2},
+		ScaleAt:        simtime.Sec(1),
+		NewParallelism: 6,
+	}.Execute()
+	if !scaled.Done {
+		t.Fatal("scaling never completed")
+	}
+	if msg := scaletest.CheckExactlyOnce(base, scaled); msg != "" {
+		t.Fatal(msg)
+	}
+	if msg := scaletest.CheckPlacement(scaled); msg != "" {
+		t.Fatal(msg)
+	}
+	if msg := scaletest.CheckParticipation(scaled); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestSequentialRoundsStretchDependency(t *testing.T) {
+	// Megaphone's signature (paper Fig 12): many sequential rounds mean the
+	// later units wait for all earlier rounds, so cumulative propagation
+	// delay and average dependency overhead dwarf a single-round OTFS run on
+	// the same workload.
+	mega := scaletest.Run{
+		Workload:       scaletest.DefaultWorkload(32),
+		Mechanism:      &Mechanism{BatchKGs: 1},
+		ScaleAt:        simtime.Sec(1),
+		NewParallelism: 6,
+		Cluster:        scaletest.SlowMigrationCluster(8 << 20),
+	}.Execute()
+	single := scaletest.Run{
+		Workload:       scaletest.DefaultWorkload(32),
+		Mechanism:      &otfs.Mechanism{Fluid: true},
+		ScaleAt:        simtime.Sec(1),
+		NewParallelism: 6,
+		Cluster:        scaletest.SlowMigrationCluster(8 << 20),
+	}.Execute()
+	if !mega.Done || !single.Done {
+		t.Fatal("runs did not complete")
+	}
+	mp := mega.RT.Scale.CumulativePropagationDelay()
+	sp := single.RT.Scale.CumulativePropagationDelay()
+	if mp <= sp {
+		t.Fatalf("megaphone cumulative propagation %v should exceed single-round %v", mp, sp)
+	}
+	md := mega.RT.Scale.AvgDependencyOverhead()
+	sd := single.RT.Scale.AvgDependencyOverhead()
+	if md <= sd {
+		t.Fatalf("megaphone dependency overhead %v should exceed single-round %v", md, sd)
+	}
+	if mega.RT.Scale.MigrationDuration() <= single.RT.Scale.MigrationDuration() {
+		t.Fatalf("megaphone scaling duration %v should exceed single-round %v",
+			mega.RT.Scale.MigrationDuration(), single.RT.Scale.MigrationDuration())
+	}
+}
+
+func TestBatchSizeTradeoff(t *testing.T) {
+	// Bigger batches → fewer rounds → shorter total scaling duration.
+	dur := func(batch int) simtime.Duration {
+		res := scaletest.Run{
+			Workload:       scaletest.DefaultWorkload(33),
+			Mechanism:      &Mechanism{BatchKGs: batch},
+			ScaleAt:        simtime.Sec(1),
+			NewParallelism: 6,
+		}.Execute()
+		if !res.Done {
+			t.Fatalf("batch=%d never completed", batch)
+		}
+		return res.RT.Scale.MigrationDuration()
+	}
+	small := dur(1)
+	large := dur(16)
+	if large >= small {
+		t.Fatalf("batch=16 duration %v should beat batch=1 %v", large, small)
+	}
+}
+
+func TestName(t *testing.T) {
+	if (&Mechanism{}).Name() != "megaphone" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,117 @@
+package otfs
+
+import (
+	"testing"
+
+	"drrs/internal/scaletest"
+	"drrs/internal/simtime"
+)
+
+func runPair(t *testing.T, fluid bool, seed int64) (scaletest.Result, scaletest.Result) {
+	t.Helper()
+	base := scaletest.Run{Workload: scaletest.DefaultWorkload(seed)}.Execute()
+	scaled := scaletest.Run{
+		Workload:       scaletest.DefaultWorkload(seed),
+		Mechanism:      &Mechanism{Fluid: fluid},
+		ScaleAt:        simtime.Sec(1),
+		NewParallelism: 6,
+	}.Execute()
+	return base, scaled
+}
+
+func TestFluidExactlyOnce(t *testing.T) {
+	base, scaled := runPair(t, true, 11)
+	if !scaled.Done {
+		t.Fatal("scaling never completed")
+	}
+	if msg := scaletest.CheckExactlyOnce(base, scaled); msg != "" {
+		t.Fatal(msg)
+	}
+	if msg := scaletest.CheckPlacement(scaled); msg != "" {
+		t.Fatal(msg)
+	}
+	if msg := scaletest.CheckParticipation(scaled); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestAllAtOnceExactlyOnce(t *testing.T) {
+	base, scaled := runPair(t, false, 12)
+	if !scaled.Done {
+		t.Fatal("scaling never completed")
+	}
+	if msg := scaletest.CheckExactlyOnce(base, scaled); msg != "" {
+		t.Fatal(msg)
+	}
+	if msg := scaletest.CheckPlacement(scaled); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestScalingMetricsRecorded(t *testing.T) {
+	_, scaled := runPair(t, true, 13)
+	m := scaled.RT.Scale
+	if !m.Ended() {
+		t.Fatal("scale end not marked")
+	}
+	if m.UnitsMigrated() != len(scaled.Plan.Moves) {
+		t.Fatalf("migrated %d of %d units", m.UnitsMigrated(), len(scaled.Plan.Moves))
+	}
+	if m.CumulativePropagationDelay() <= 0 {
+		t.Fatal("no propagation delay recorded (source injection must cost something)")
+	}
+	if m.AvgDependencyOverhead() <= 0 {
+		t.Fatal("no dependency overhead recorded")
+	}
+}
+
+func TestFluidMakesStateAvailableEarlier(t *testing.T) {
+	// The motivation for fluid migration (Fig 1c): the first state unit is
+	// usable long before the batch finishes, so per-unit completion times
+	// spread out instead of all landing together. (Cumulative suspension is
+	// workload-dependent — the paper notes fluid can degenerate to
+	// all-at-once when the head record needs the tail unit — so the test
+	// asserts the deterministic property.)
+	mk := func(fluid bool) (first, last simtime.Time) {
+		res := scaletest.Run{
+			Workload:       scaletest.DefaultWorkload(21),
+			Mechanism:      &Mechanism{Fluid: fluid},
+			ScaleAt:        simtime.Sec(1),
+			NewParallelism: 6,
+			Cluster:        scaletest.SlowMigrationCluster(4 << 20),
+		}.Execute()
+		times := res.RT.Scale.UnitDoneTimes()
+		if len(times) == 0 {
+			t.Fatal("no units migrated")
+		}
+		first, last = simtime.Time(1<<62), 0
+		for _, at := range times {
+			if at < first {
+				first = at
+			}
+			if at > last {
+				last = at
+			}
+		}
+		return first, last
+	}
+	fFirst, fLast := mk(true)
+	bFirst, bLast := mk(false)
+	if fFirst >= bFirst {
+		t.Fatalf("fluid first unit at %v, not earlier than all-at-once %v", fFirst, bFirst)
+	}
+	if fLast.Sub(fFirst) <= bLast.Sub(bFirst) {
+		t.Fatalf("fluid spread %v should exceed batch spread %v",
+			fLast.Sub(fFirst), bLast.Sub(bFirst))
+	}
+	// Both finish, and suspension is non-zero under slow migration.
+}
+
+func TestNames(t *testing.T) {
+	if (&Mechanism{Fluid: true}).Name() != "otfs-fluid" {
+		t.Fatal("fluid name")
+	}
+	if (&Mechanism{}).Name() != "otfs-allatonce" {
+		t.Fatal("batch name")
+	}
+}

@@ -1,0 +1,282 @@
+// Package scaling defines the mechanism framework every rescaling approach
+// plugs into: scale plans, physical deployment, the shared state-migration
+// machinery with delay accounting, and the "coupled round" primitive that the
+// generalized OTFS framework, Megaphone, and DRRS's ablation variants build
+// on.
+package scaling
+
+import (
+	"fmt"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/engine"
+	"drrs/internal/simtime"
+	"drrs/internal/state"
+)
+
+// Plan describes one scaling operation on one operator.
+type Plan struct {
+	// Operator is the scaling operator's name.
+	Operator string
+	// OldParallelism and NewParallelism bound the instance set.
+	OldParallelism, NewParallelism int
+	// Moves lists the key groups changing owner.
+	Moves []dataflow.Move
+	// SetupDelay models physical resource initialization (container start,
+	// task deployment) before new instances are operational — part of the
+	// paper's inherent overhead Lo.
+	SetupDelay simtime.Duration
+}
+
+// UniformPlan builds the paper's default plan: scale op to newP instances
+// with uniform (contiguous-range) repartitioning.
+func UniformPlan(g *dataflow.Graph, op string, newP int, setup simtime.Duration) Plan {
+	spec := g.Operator(op)
+	if spec == nil {
+		panic(fmt.Sprintf("scaling: unknown operator %s", op))
+	}
+	if !spec.KeyedInput {
+		panic(fmt.Sprintf("scaling: operator %s is not keyed", op))
+	}
+	return Plan{
+		Operator:       op,
+		OldParallelism: spec.Parallelism,
+		NewParallelism: newP,
+		Moves:          dataflow.UniformRepartition(spec.MaxKeyGroups, spec.Parallelism, newP),
+		SetupDelay:     setup,
+	}
+}
+
+// NewRouting builds the routing table for the post-scaling assignment.
+func (p Plan) NewRouting(maxKG int) *dataflow.RoutingTable {
+	rt := dataflow.NewRoutingTable(maxKG, p.OldParallelism)
+	for _, m := range p.Moves {
+		rt.SetOwner(m.KeyGroup, m.To)
+	}
+	return rt
+}
+
+// MovesFrom returns the plan's moves leaving instance idx, in key-group
+// order.
+func (p Plan) MovesFrom(idx int) []dataflow.Move {
+	var out []dataflow.Move
+	for _, m := range p.Moves {
+		if m.From == idx {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MovedSet returns the set of migrating key groups.
+func (p Plan) MovedSet() map[int]bool {
+	s := make(map[int]bool, len(p.Moves))
+	for _, m := range p.Moves {
+		s[m.KeyGroup] = true
+	}
+	return s
+}
+
+// PlanFromPlacement builds a plan from the *actual* current state placement
+// rather than the nominal contiguous assignment — required when a scaling
+// request supersedes a partially completed one (the paper's concurrent-
+// execution rule 1): groups the cancelled operation already moved must not
+// migrate twice.
+func PlanFromPlacement(rt *engine.Runtime, op string, newP int, setup simtime.Duration) Plan {
+	spec := rt.Graph.Operator(op)
+	cur := len(rt.Instances(op))
+	holder := make(map[int]int, spec.MaxKeyGroups)
+	for _, in := range rt.Instances(op) {
+		for _, kg := range in.Store().Groups() {
+			holder[kg] = in.Index
+		}
+	}
+	var moves []dataflow.Move
+	for kg := 0; kg < spec.MaxKeyGroups; kg++ {
+		from, ok := holder[kg]
+		if !ok {
+			from = state.OwnerOf(spec.MaxKeyGroups, cur, kg)
+		}
+		to := state.OwnerOf(spec.MaxKeyGroups, newP, kg)
+		if from != to {
+			moves = append(moves, dataflow.Move{KeyGroup: kg, From: from, To: to})
+		}
+	}
+	return Plan{
+		Operator:       op,
+		OldParallelism: cur,
+		NewParallelism: newP,
+		Moves:          moves,
+		SetupDelay:     setup,
+	}
+}
+
+// Mechanism is one rescaling approach.
+type Mechanism interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+	// Start begins scaling per plan; done (optional) fires when the scaling
+	// operation has fully completed (all state migrated, protocol drained).
+	Start(rt *engine.Runtime, plan Plan, done func())
+}
+
+// Deploy performs the physical half of scaling shared by every mechanism:
+// after plan.SetupDelay (resource initialization), it creates the new
+// instances, wires them, and hands them to then. It also marks the scale
+// start in the runtime's metrics.
+func Deploy(rt *engine.Runtime, plan Plan, then func(added []*engine.Instance)) {
+	rt.Scale.MarkScaleStart(rt.Sched.Now())
+	rt.Sched.After(plan.SetupDelay, func() {
+		var added []*engine.Instance
+		for idx := plan.OldParallelism; idx < plan.NewParallelism; idx++ {
+			added = append(added, rt.AddInstance(plan.Operator, idx))
+		}
+		then(added)
+	})
+}
+
+// Migrator moves key groups between instances with full delay accounting.
+// One Migrator serves one scaling operation.
+type Migrator struct {
+	rt   *engine.Runtime
+	plan Plan
+	// InstallCost is charged at the receiver per chunk (deserialization).
+	InstallCost simtime.Duration
+
+	migrated map[int]bool
+	total    int
+	onAll    func()
+}
+
+// NewMigrator returns a migrator for the plan. onAll (optional) fires when
+// every planned move has completed.
+func NewMigrator(rt *engine.Runtime, plan Plan, onAll func()) *Migrator {
+	return &Migrator{
+		rt:          rt,
+		plan:        plan,
+		InstallCost: 200 * simtime.Microsecond,
+		migrated:    make(map[int]bool),
+		onAll:       onAll,
+		total:       len(plan.Moves),
+	}
+}
+
+// Migrated reports whether kg has completed migration.
+func (m *Migrator) Migrated(kg int) bool { return m.migrated[kg] }
+
+// Remaining reports moves not yet completed.
+func (m *Migrator) Remaining() int { return m.total - len(m.migrated) }
+
+// MigrateGroup extracts kg from its source instance and transfers it to the
+// destination under the given signal label; done (optional) fires after the
+// destination installs it. The paper's Fig 12 metrics hang off the signal
+// label: FirstMigration on extraction, UnitMigrated on installation.
+func (m *Migrator) MigrateGroup(kg int, signal string, done func()) {
+	move := m.findMove(kg)
+	from := m.rt.Instance(m.plan.Operator, move.From)
+	to := m.rt.Instance(m.plan.Operator, move.To)
+	if from == nil || to == nil {
+		panic(fmt.Sprintf("scaling: migrate kg %d with missing instances", kg))
+	}
+	g := from.Store().ExtractGroup(kg)
+	m.rt.Scale.FirstMigration(signal, m.rt.Sched.Now())
+	bytes := 0
+	if g != nil {
+		bytes = g.Bytes
+	}
+	m.rt.Cluster.Transfer(from.Endpoint(), to.Endpoint(), bytes, func() {
+		m.rt.Sched.After(m.InstallCost, func() {
+			to.Store().InstallGroup(kg, g)
+			m.rt.Scale.UnitMigrated(kg, m.rt.Sched.Now())
+			m.migrated[kg] = true
+			to.Wake()
+			if done != nil {
+				done()
+			}
+			if len(m.migrated) == m.total && m.onAll != nil {
+				all := m.onAll
+				m.onAll = nil
+				all()
+			}
+		})
+	})
+}
+
+// MigrateSequence migrates the given key groups one after another (fluid
+// migration's per-unit serial dependency); done fires after the last one.
+func (m *Migrator) MigrateSequence(kgs []int, signal string, done func()) {
+	if len(kgs) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	m.MigrateGroup(kgs[0], signal, func() {
+		m.MigrateSequence(kgs[1:], signal, done)
+	})
+}
+
+// MigrateAllAtOnce extracts all given groups immediately and ships each
+// (source, destination) pair's state as a single batch: nothing is usable at
+// a destination until its whole batch lands (the traditional approach in
+// Fig 1b).
+func (m *Migrator) MigrateAllAtOnce(kgs []int, signal string, done func()) {
+	if len(kgs) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	type pair struct{ from, to int }
+	type item struct {
+		kg int
+		g  *state.Group
+	}
+	batches := make(map[pair][]item)
+	bytes := make(map[pair]int)
+	for _, kg := range kgs {
+		mv := m.findMove(kg)
+		from := m.rt.Instance(m.plan.Operator, mv.From)
+		g := from.Store().ExtractGroup(kg)
+		p := pair{from: mv.From, to: mv.To}
+		batches[p] = append(batches[p], item{kg: kg, g: g})
+		if g != nil {
+			bytes[p] += g.Bytes
+		}
+	}
+	m.rt.Scale.FirstMigration(signal, m.rt.Sched.Now())
+	remaining := len(batches)
+	for p, items := range batches {
+		p, items := p, items
+		from := m.rt.Instance(m.plan.Operator, p.from)
+		to := m.rt.Instance(m.plan.Operator, p.to)
+		m.rt.Cluster.Transfer(from.Endpoint(), to.Endpoint(), bytes[p], func() {
+			m.rt.Sched.After(m.InstallCost, func() {
+				for _, it := range items {
+					to.Store().InstallGroup(it.kg, it.g)
+					m.rt.Scale.UnitMigrated(it.kg, m.rt.Sched.Now())
+					m.migrated[it.kg] = true
+				}
+				to.Wake()
+				remaining--
+				if remaining == 0 && done != nil {
+					done()
+				}
+				if len(m.migrated) == m.total && m.onAll != nil {
+					all := m.onAll
+					m.onAll = nil
+					all()
+				}
+			})
+		})
+	}
+}
+
+func (m *Migrator) findMove(kg int) dataflow.Move {
+	for _, mv := range m.plan.Moves {
+		if mv.KeyGroup == kg {
+			return mv
+		}
+	}
+	panic(fmt.Sprintf("scaling: kg %d not in plan", kg))
+}

@@ -1,0 +1,174 @@
+package scaling
+
+import (
+	"testing"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/engine"
+	"drrs/internal/simtime"
+	"drrs/internal/workload"
+)
+
+func testPlan(t *testing.T) (Plan, *dataflow.Graph) {
+	t.Helper()
+	g, _ := workload.Build(workload.Config{AggParallelism: 4, MaxKeyGroups: 32, Duration: simtime.Sec(1)})
+	return UniformPlan(g, "agg", 6, simtime.Ms(10)), g
+}
+
+func TestUniformPlanShape(t *testing.T) {
+	plan, _ := testPlan(t)
+	if plan.OldParallelism != 4 || plan.NewParallelism != 6 {
+		t.Fatalf("parallelism %d→%d", plan.OldParallelism, plan.NewParallelism)
+	}
+	if len(plan.Moves) == 0 {
+		t.Fatal("no moves")
+	}
+	for _, m := range plan.Moves {
+		if m.From == m.To || m.From >= 4 || m.To >= 6 {
+			t.Fatalf("bad move %+v", m)
+		}
+	}
+}
+
+func TestUniformPlanPanicsOnNonKeyed(t *testing.T) {
+	_, g := testPlan(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-keyed operator")
+		}
+	}()
+	UniformPlan(g, "sink", 2, 0)
+}
+
+func TestNewRoutingMatchesMoves(t *testing.T) {
+	plan, g := testPlan(t)
+	rt := plan.NewRouting(g.Operator("agg").MaxKeyGroups)
+	moved := plan.MovedSet()
+	for _, m := range plan.Moves {
+		if rt.Owner(m.KeyGroup) != m.To {
+			t.Fatalf("kg %d routed to %d, want %d", m.KeyGroup, rt.Owner(m.KeyGroup), m.To)
+		}
+	}
+	for kg := 0; kg < 32; kg++ {
+		if !moved[kg] && rt.Owner(kg) >= 4 {
+			t.Fatalf("unmoved kg %d routed to new instance %d", kg, rt.Owner(kg))
+		}
+	}
+}
+
+func TestMovesFrom(t *testing.T) {
+	plan, _ := testPlan(t)
+	var total int
+	for idx := 0; idx < plan.OldParallelism; idx++ {
+		for _, m := range plan.MovesFrom(idx) {
+			if m.From != idx {
+				t.Fatalf("MovesFrom(%d) returned move from %d", idx, m.From)
+			}
+			total++
+		}
+	}
+	if total != len(plan.Moves) {
+		t.Fatalf("MovesFrom partition lost moves: %d vs %d", total, len(plan.Moves))
+	}
+}
+
+func TestBatchRounds(t *testing.T) {
+	plan, _ := testPlan(t)
+	rounds := BatchRounds(plan, 3)
+	var total int
+	last := -1
+	for _, r := range rounds {
+		if len(r) == 0 || len(r) > 3 {
+			t.Fatalf("round size %d", len(r))
+		}
+		for _, kg := range r {
+			if kg <= last {
+				t.Fatalf("rounds not in key-group order: %d after %d", kg, last)
+			}
+			last = kg
+			total++
+		}
+	}
+	if total != len(plan.Moves) {
+		t.Fatalf("rounds cover %d of %d moves", total, len(plan.Moves))
+	}
+	// Zero batch size = single round.
+	if rounds := BatchRounds(plan, 0); len(rounds) != 1 {
+		t.Fatalf("zero batch should give one round, got %d", len(rounds))
+	}
+}
+
+func TestDeployCreatesInstancesAfterSetup(t *testing.T) {
+	g, _ := workload.Build(workload.Config{AggParallelism: 4, MaxKeyGroups: 32, Duration: simtime.Sec(1)})
+	s := simtime.NewScheduler()
+	rt := engine.New(s, g, nil, engine.Config{Seed: 1, MarkerInterval: -1})
+	plan := UniformPlan(g, "agg", 6, simtime.Ms(50))
+	var deployedAt simtime.Time
+	var got int
+	Deploy(rt, plan, func(added []*engine.Instance) {
+		deployedAt = s.Now()
+		got = len(added)
+	})
+	s.Run()
+	if got != 2 {
+		t.Fatalf("deployed %d instances, want 2", got)
+	}
+	if deployedAt != simtime.Time(simtime.Ms(50)) {
+		t.Fatalf("deployed at %v, want 50ms", deployedAt)
+	}
+	if len(rt.Instances("agg")) != 6 {
+		t.Fatal("instances not registered")
+	}
+}
+
+func TestMigratorSequenceOrderAndCompletion(t *testing.T) {
+	g, _ := workload.Build(workload.Config{AggParallelism: 4, MaxKeyGroups: 32, Duration: simtime.Sec(1)})
+	s := simtime.NewScheduler()
+	rt := engine.New(s, g, nil, engine.Config{Seed: 1, MarkerInterval: -1})
+	plan := UniformPlan(g, "agg", 6, 0)
+	var allDone bool
+	Deploy(rt, plan, func([]*engine.Instance) {
+		mig := NewMigrator(rt, plan, func() { allDone = true })
+		bySrc := map[int][]int{}
+		for _, m := range plan.Moves {
+			bySrc[m.From] = append(bySrc[m.From], m.KeyGroup)
+		}
+		for _, kgs := range bySrc {
+			mig.MigrateSequence(kgs, "test", nil)
+		}
+	})
+	s.Run()
+	if !allDone {
+		t.Fatal("migrator onAll never fired")
+	}
+	if rt.Scale.UnitsMigrated() != len(plan.Moves) {
+		t.Fatalf("migrated %d of %d", rt.Scale.UnitsMigrated(), len(plan.Moves))
+	}
+	// Every move's group now lives at its destination.
+	for _, m := range plan.Moves {
+		if !rt.Instance("agg", m.To).Store().HasGroup(m.KeyGroup) {
+			t.Fatalf("kg %d missing at destination %d", m.KeyGroup, m.To)
+		}
+		if rt.Instance("agg", m.From).Store().HasGroup(m.KeyGroup) {
+			t.Fatalf("kg %d still at source %d", m.KeyGroup, m.From)
+		}
+	}
+}
+
+func TestPlanFromPlacementAfterPartialMove(t *testing.T) {
+	g, _ := workload.Build(workload.Config{AggParallelism: 4, MaxKeyGroups: 32, Duration: simtime.Sec(1)})
+	s := simtime.NewScheduler()
+	rt := engine.New(s, g, nil, engine.Config{Seed: 1, MarkerInterval: -1})
+	// Manually move kg 0 from its owner to instance 3.
+	from := rt.Instance("agg", 0)
+	if !from.Store().HasGroup(0) {
+		t.Skip("kg 0 not at instance 0 in this assignment")
+	}
+	rt.Instance("agg", 3).Store().InstallGroup(0, from.Store().ExtractGroup(0))
+	plan := PlanFromPlacement(rt, "agg", 4, 0)
+	// Re-planning to the same parallelism must move kg 0 back home and
+	// nothing else.
+	if len(plan.Moves) != 1 || plan.Moves[0].KeyGroup != 0 || plan.Moves[0].From != 3 || plan.Moves[0].To != 0 {
+		t.Fatalf("plan %+v", plan.Moves)
+	}
+}

@@ -1,0 +1,90 @@
+// Package stopre implements the Stop-Checkpoint-Restart mechanism mainstream
+// SPEs use for rescaling (the paper's Section I/II motivation): pause the
+// sources, take a global aligned checkpoint, halt the job, redeploy with the
+// new configuration, restore state, and resume.
+//
+// It is not part of the paper's main comparison figures (the paper dismisses
+// it for latency-sensitive work), but it is the reference point that makes
+// the on-the-fly numbers meaningful, so the repository includes it.
+package stopre
+
+import (
+	"drrs/internal/engine"
+	"drrs/internal/scaling"
+	"drrs/internal/simtime"
+)
+
+// Mechanism is the Stop-Checkpoint-Restart baseline.
+type Mechanism struct {
+	// RestoreBytesPerSec is the state restore rate (default 400 MB/s).
+	RestoreBytesPerSec float64
+}
+
+// Name implements scaling.Mechanism.
+func (m *Mechanism) Name() string { return "stop-restart" }
+
+// Start implements scaling.Mechanism.
+func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
+	if m.RestoreBytesPerSec <= 0 {
+		m.RestoreBytesPerSec = 400 << 20
+	}
+	const signal = "stop-restart"
+	rt.Scale.MarkScaleStart(rt.Sched.Now())
+	rt.Scale.SignalInjected(signal, rt.Sched.Now())
+	for _, mv := range plan.Moves {
+		rt.Scale.UnitAssigned(mv.KeyGroup, signal)
+	}
+
+	// Phase 1: global checkpoint with sources pausing at the barrier.
+	id := rt.TriggerCheckpoint(func(int64) {
+		m.restart(rt, plan, signal, done)
+	})
+	if id < 0 {
+		panic("stopre: a checkpoint is already running")
+	}
+	rt.EachInstance(func(in *engine.Instance) {
+		if in.Spec.Source != nil {
+			in.PauseAfterCkpt = id
+		}
+	})
+}
+
+// restart runs after the checkpoint completes: the topology is quiet (all
+// pre-barrier records processed, sources paused), so the job halts, state is
+// redistributed, and everything resumes under the new configuration.
+func (m *Mechanism) restart(rt *engine.Runtime, plan scaling.Plan, signal string, done func()) {
+	rt.EachInstance(func(in *engine.Instance) { in.Halted = true })
+	totalState := rt.TotalStateBytes(plan.Operator)
+	restore := plan.SetupDelay +
+		simtime.Duration(float64(totalState)/m.RestoreBytesPerSec*float64(simtime.Second))
+	rt.Sched.After(restore, func() {
+		for idx := plan.OldParallelism; idx < plan.NewParallelism; idx++ {
+			rt.AddInstance(plan.Operator, idx)
+		}
+		rt.Scale.FirstMigration(signal, rt.Sched.Now())
+		// Redistribute state directly: restore time was already charged.
+		for _, mv := range plan.Moves {
+			from := rt.Instance(plan.Operator, mv.From)
+			to := rt.Instance(plan.Operator, mv.To)
+			to.Store().InstallGroup(mv.KeyGroup, from.Store().ExtractGroup(mv.KeyGroup))
+			rt.Scale.UnitMigrated(mv.KeyGroup, rt.Sched.Now())
+		}
+		for _, p := range rt.PredecessorInstances(plan.Operator) {
+			tbl := p.Routing(plan.Operator)
+			for _, mv := range plan.Moves {
+				tbl.SetOwner(mv.KeyGroup, mv.To)
+			}
+		}
+		rt.EachInstance(func(in *engine.Instance) {
+			in.Halted = false
+			if in.Spec.Source != nil {
+				in.PauseData = false
+			}
+			in.Wake()
+		})
+		rt.Scale.MarkScaleEnd(rt.Sched.Now())
+		if done != nil {
+			done()
+		}
+	})
+}

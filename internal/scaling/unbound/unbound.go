@@ -1,0 +1,79 @@
+// Package unbound implements the paper's "extreme" scaling solution
+// (Section II-B, Fig 2): correctness is sacrificed entirely to isolate the
+// mechanism-level overheads. Routing tables flip instantly without signal
+// propagation, record keys behave as "universal keys" — every instance can
+// process any record against a fresh local state — and migration happens in
+// the background without ever suspending processing.
+//
+// Unbound eliminates Lp and Ls and hides Ld, so the residual gap between it
+// and a non-scaling run bounds the inherent overhead Lo. Its output is WRONG
+// by construction (per-key aggregates are split across instances and merged
+// by overwrite); it exists purely as the paper's diagnostic upper bound.
+package unbound
+
+import (
+	"drrs/internal/engine"
+	"drrs/internal/netsim"
+	"drrs/internal/scaling"
+)
+
+// Mechanism is the Unbound diagnostic baseline.
+type Mechanism struct{}
+
+// Name implements scaling.Mechanism.
+func (m *Mechanism) Name() string { return "unbound" }
+
+// Start implements scaling.Mechanism.
+func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
+	const signal = "unbound"
+	for _, mv := range plan.Moves {
+		rt.Scale.UnitAssigned(mv.KeyGroup, signal)
+	}
+	mig := scaling.NewMigrator(rt, plan, func() {
+		rt.Scale.MarkScaleEnd(rt.Sched.Now())
+		if done != nil {
+			done()
+		}
+	})
+	scaling.Deploy(rt, plan, func(added []*engine.Instance) {
+		rt.Scale.SignalInjected(signal, rt.Sched.Now())
+		// Universal keys: any instance processes any record, creating local
+		// state shells on demand, so nothing ever suspends — including old
+		// instances handling stragglers for groups already extracted. The
+		// hook stays installed; Unbound has no cleanup protocol (it has no
+		// protocol at all — that is the point).
+		for _, in := range rt.Instances(plan.Operator) {
+			in.SetHook(universalHook{})
+		}
+		for _, mv := range plan.Moves {
+			rt.Instance(plan.Operator, mv.To).Store().OwnGroup(mv.KeyGroup)
+		}
+		// Instant routing flip, no propagation, no alignment.
+		for _, p := range rt.PredecessorInstances(plan.Operator) {
+			tbl := p.Routing(plan.Operator)
+			for _, mv := range plan.Moves {
+				tbl.SetOwner(mv.KeyGroup, mv.To)
+			}
+		}
+		// Background migration of the old state; InstallGroup merges into the
+		// live shells (overwriting concurrent updates — the correctness hole
+		// Unbound deliberately accepts).
+		bySrc := make(map[int][]int)
+		for _, mv := range plan.Moves {
+			bySrc[mv.From] = append(bySrc[mv.From], mv.KeyGroup)
+		}
+		for _, kgs := range bySrc {
+			mig.MigrateSequence(kgs, signal, nil)
+		}
+	})
+}
+
+// universalHook implements the universal-key semantics: before any record is
+// processed, its key group is made local (as an empty shell if absent), so
+// processing never waits for state and never panics on non-local writes.
+type universalHook struct{ engine.BaseHook }
+
+func (universalHook) BeforeRecord(in *engine.Instance, r *netsim.Record, _ *netsim.Edge) bool {
+	in.Store().OwnGroup(r.KeyGroup)
+	return false
+}

@@ -1,0 +1,88 @@
+package simtime
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a named deterministic random stream. Each simulation component draws
+// from its own stream so that adding randomness to one component does not
+// perturb another (a classic discrete-event-simulation discipline).
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG derives a deterministic stream from a base seed and a component
+// name.
+func NewRNG(seed int64, name string) *RNG {
+	h := uint64(seed)
+	for _, c := range name {
+		h = h*1099511628211 + uint64(c) // FNV-1a style mix
+	}
+	return &RNG{Rand: rand.New(rand.NewSource(int64(h)))}
+}
+
+// Jitter returns a duration uniformly drawn from [d*(1-f), d*(1+f)].
+func (r *RNG) Jitter(d Duration, f float64) Duration {
+	if f <= 0 {
+		return d
+	}
+	lo := float64(d) * (1 - f)
+	hi := float64(d) * (1 + f)
+	return Duration(lo + r.Float64()*(hi-lo))
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// useful for Poisson arrival processes.
+func (r *RNG) Exp(mean Duration) Duration {
+	return Duration(r.ExpFloat64() * float64(mean))
+}
+
+// Zipf draws integers in [0, n) with Zipf skewness s, matching the paper's
+// workload-skew parameter (s = 0 is uniform; larger s concentrates mass on
+// low ranks). Unlike math/rand's Zipf it accepts any s >= 0 by sampling the
+// generalized harmonic CDF directly.
+type Zipf struct {
+	n    int
+	s    float64
+	cdf  []float64
+	rand *rand.Rand
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with skewness s.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("simtime: Zipf needs n > 0")
+	}
+	z := &Zipf{n: n, s: s, rand: r.Rand}
+	if s > 0 {
+		z.cdf = make([]float64, n)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += 1 / math.Pow(float64(i+1), s)
+			z.cdf[i] = sum
+		}
+		for i := range z.cdf {
+			z.cdf[i] /= sum
+		}
+	}
+	return z
+}
+
+// Next draws one rank in [0, n).
+func (z *Zipf) Next() int {
+	if z.s <= 0 {
+		return int(z.rand.Int63n(int64(z.n)))
+	}
+	u := z.rand.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

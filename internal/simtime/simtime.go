@@ -1,0 +1,206 @@
+// Package simtime provides the virtual clock and event scheduler that the
+// whole simulation runs on.
+//
+// Everything in this repository — record transmission, operator processing,
+// state migration, scaling-signal propagation — is an event scheduled on a
+// single Scheduler. Time is virtual: a "600 second" experiment is an event
+// count, not wall time, so runs are fast and fully deterministic. Events at
+// the same instant fire in scheduling order (a monotone sequence number
+// breaks ties), which makes every experiment replayable bit-for-bit.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an instant in virtual time, in microseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Microsecond Duration = 1
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Ms constructs a Duration from milliseconds.
+func Ms(ms float64) Duration { return Duration(ms * float64(Millisecond)) }
+
+// Sec constructs a Duration from seconds.
+func Sec(s float64) Duration { return Duration(s * float64(Second)) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span between t and earlier instant o.
+func (t Time) Sub(o Time) Duration { return Duration(t - o) }
+
+// Millis reports t in (fractional) milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t in (fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the instant as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Millis reports d in (fractional) milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports d in (fractional) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration as milliseconds.
+func (d Duration) String() string { return fmt.Sprintf("%.3fms", d.Millis()) }
+
+// Timer is a handle to a scheduled event. Cancelling a fired or already
+// cancelled timer is a no-op.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Reports whether the event was still
+// pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer's event has neither fired nor been
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler.
+//
+// It is not safe for concurrent use; the whole simulation is single-threaded
+// by design.
+type Scheduler struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stepped uint64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Processed reports how many events have fired so far.
+func (s *Scheduler) Processed() uint64 { return s.stepped }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet drained).
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at instant t. Scheduling in the past panics: it
+// always indicates a simulation bug.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d is treated
+// as zero.
+func (s *Scheduler) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step fires the next event. It reports false when no runnable event remains.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.stepped++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the queue is exhausted or the next event lies
+// beyond t. The clock is left at min(t, time of last fired event), never
+// before its current value.
+func (s *Scheduler) RunUntil(t Time) {
+	for {
+		ev := s.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Run fires events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+func (s *Scheduler) peek() *event {
+	for len(s.events) > 0 {
+		if s.events[0].cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0]
+	}
+	return nil
+}

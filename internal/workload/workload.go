@@ -1,0 +1,142 @@
+// Package workload builds the paper's configurable custom job (Section V-A):
+// a generator → keyed aggregator → sink pipeline with adjustable input rate,
+// per-key state size, and Zipf workload skewness. The paper uses it for the
+// cluster sensitivity analysis (Fig 15) because the dominant scaling overhead
+// involves only the scaling operator and its predecessors.
+package workload
+
+import (
+	"drrs/internal/dataflow"
+	"drrs/internal/engine"
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+)
+
+// Config parameterizes the custom job.
+type Config struct {
+	// SourceParallelism and AggParallelism set initial parallelism.
+	SourceParallelism int
+	AggParallelism    int
+	// MaxKeyGroups is the aggregator's key-group count (paper: 128 single
+	// machine, 256 cluster).
+	MaxKeyGroups int
+	// Keys is the key-space size.
+	Keys int
+	// RatePerSec is the per-source-instance input rate (records/s).
+	RatePerSec float64
+	// Skew is the Zipf skewness over keys (paper: 0, 0.5, 1.0, 1.5).
+	Skew float64
+	// StateBytesPerKey sets per-key state size (total state ≈ Keys × this).
+	StateBytesPerKey int
+	// CostPerRecord is the aggregator's processing cost.
+	CostPerRecord simtime.Duration
+	// Duration bounds generation; 0 generates forever.
+	Duration simtime.Duration
+	// WatermarkEvery sets the watermark cadence (default 100 ms).
+	WatermarkEvery simtime.Duration
+	// Seed drives the generators.
+	Seed int64
+	// EmitUpdates forwards every aggregation update to the sink (needed by
+	// correctness tests; benchmarks can disable it to cut message volume).
+	EmitUpdates bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.SourceParallelism == 0 {
+		c.SourceParallelism = 1
+	}
+	if c.AggParallelism == 0 {
+		c.AggParallelism = 4
+	}
+	if c.MaxKeyGroups == 0 {
+		c.MaxKeyGroups = 128
+	}
+	if c.Keys == 0 {
+		c.Keys = 1000
+	}
+	if c.RatePerSec == 0 {
+		c.RatePerSec = 1000
+	}
+	if c.StateBytesPerKey == 0 {
+		c.StateBytesPerKey = 1024
+	}
+	if c.CostPerRecord == 0 {
+		c.CostPerRecord = 100 * simtime.Microsecond
+	}
+	if c.WatermarkEvery == 0 {
+		c.WatermarkEvery = simtime.Ms(100)
+	}
+}
+
+// Build constructs the job graph and returns it with the sink logic for
+// inspection. Operators are named "gen", "agg", "sink".
+func Build(cfg Config) (*dataflow.Graph, *engine.CollectSink) {
+	cfg.fillDefaults()
+	sink := engine.NewCollectSink()
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name:        "gen",
+		Parallelism: cfg.SourceParallelism,
+		Source:      generator(cfg),
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name:          "agg",
+		Parallelism:   cfg.AggParallelism,
+		KeyedInput:    true,
+		MaxKeyGroups:  cfg.MaxKeyGroups,
+		CostPerRecord: cfg.CostPerRecord,
+		CostJitter:    0.1,
+		NewLogic: func() dataflow.Logic {
+			return &engine.KeyedReduceLogic{
+				StateBytes:  cfg.StateBytesPerKey,
+				EmitUpdates: cfg.EmitUpdates,
+			}
+		},
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name:        "sink",
+		Parallelism: 1,
+		NewLogic:    func() dataflow.Logic { return sink },
+	})
+	g.Connect("gen", "agg", dataflow.ExchangeKeyed)
+	g.Connect("agg", "sink", dataflow.ExchangeRebalance)
+	return g, sink
+}
+
+// generator emits Zipf-keyed records at a fixed rate with periodic
+// watermarks.
+func generator(cfg Config) dataflow.SourceFunc {
+	return func(ctx dataflow.SourceContext) {
+		rng := simtime.NewRNG(cfg.Seed, "workload/gen")
+		zipf := simtime.NewZipf(simtime.NewRNG(cfg.Seed, "workload/zipf"), cfg.Keys, cfg.Skew)
+		period := simtime.Duration(float64(simtime.Second) / cfg.RatePerSec)
+		start := ctx.Now()
+		deadline := simtime.Time(-1)
+		if cfg.Duration > 0 {
+			deadline = start.Add(cfg.Duration)
+		}
+		var nextWM simtime.Time
+
+		var tick func()
+		tick = func() {
+			now := ctx.Now()
+			if deadline >= 0 && now >= deadline {
+				ctx.EmitWatermark(now)
+				return
+			}
+			ctx.Ingest(&netsim.Record{
+				// Key 0 is reserved; ranks shift by 1.
+				Key:       uint64(zipf.Next()) + 1,
+				EventTime: now,
+				Size:      100,
+				Data:      1.0,
+			})
+			if now >= nextWM {
+				ctx.EmitWatermark(now)
+				nextWM = now.Add(cfg.WatermarkEvery)
+			}
+			ctx.After(rng.Jitter(period, 0.05), tick)
+		}
+		tick()
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"drrs/internal/engine"
+	"drrs/internal/simtime"
+	"drrs/internal/state"
+)
+
+func run(t *testing.T, cfg Config) (*engine.Runtime, *engine.CollectSink) {
+	t.Helper()
+	g, sink := Build(cfg)
+	s := simtime.NewScheduler()
+	rt := engine.New(s, g, nil, engine.Config{Seed: cfg.Seed})
+	rt.Start()
+	s.RunUntil(simtime.Time(cfg.Duration))
+	rt.StopMarkers()
+	s.Run()
+	return rt, sink
+}
+
+func TestDefaultsAndStructure(t *testing.T) {
+	g, _ := Build(Config{Duration: simtime.Sec(1)})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order := g.Topological()
+	if len(order) != 3 {
+		t.Fatalf("custom workload should be a 3-operator job, got %d", len(order))
+	}
+	if g.Operator("agg").MaxKeyGroups != 128 {
+		t.Fatalf("default MaxKeyGroups %d", g.Operator("agg").MaxKeyGroups)
+	}
+}
+
+func TestRateIsHonored(t *testing.T) {
+	cfg := Config{RatePerSec: 3000, Duration: simtime.Sec(2), Seed: 1, EmitUpdates: true}
+	rt, _ := run(t, cfg)
+	total := rt.Throughput.Total()
+	// One source instance at 3000/s for 2s ≈ 6000 records (±jitter).
+	if total < 5500 || total > 6500 {
+		t.Fatalf("generated %d records, want ≈6000", total)
+	}
+}
+
+func TestStateSizeKnob(t *testing.T) {
+	cfg := Config{Keys: 500, StateBytesPerKey: 2048, RatePerSec: 5000, Duration: simtime.Sec(2), Seed: 2}
+	rt, _ := run(t, cfg)
+	got := rt.TotalStateBytes("agg")
+	// Most of the 500 keys should have been touched: state ≈ keys × bytes.
+	if got < 500*2048*8/10 {
+		t.Fatalf("state %d bytes, want ≈%d", got, 500*2048)
+	}
+}
+
+func TestSkewConcentratesKeys(t *testing.T) {
+	uniform := keySpread(t, 0.0)
+	skewed := keySpread(t, 1.5)
+	if skewed <= uniform {
+		t.Fatalf("skew 1.5 top-key share %.3f should exceed uniform %.3f", skewed, uniform)
+	}
+}
+
+// keySpread returns the fraction of records on the most loaded aggregator
+// instance.
+func keySpread(t *testing.T, skew float64) float64 {
+	cfg := Config{
+		Keys: 1000, Skew: skew, RatePerSec: 5000,
+		Duration: simtime.Sec(2), Seed: 3, AggParallelism: 4, MaxKeyGroups: 32,
+	}
+	rt, _ := run(t, cfg)
+	var max, total uint64
+	for _, in := range rt.Instances("agg") {
+		total += in.Processed
+		if in.Processed > max {
+			max = in.Processed
+		}
+	}
+	if total == 0 {
+		t.Fatal("nothing processed")
+	}
+	return float64(max) / float64(total)
+}
+
+func TestEmitUpdatesReachSink(t *testing.T) {
+	cfg := Config{RatePerSec: 2000, Duration: simtime.Sec(1), Seed: 4, EmitUpdates: true}
+	rt, sink := run(t, cfg)
+	if int64(sink.Records) != rt.Throughput.Total() {
+		t.Fatalf("sink %d vs generated %d", sink.Records, rt.Throughput.Total())
+	}
+	if d := sink.Duplicates(); d != 0 {
+		t.Fatalf("%d duplicates", d)
+	}
+}
+
+func TestKeysLandInCorrectGroups(t *testing.T) {
+	cfg := Config{Keys: 300, RatePerSec: 4000, Duration: simtime.Sec(1), Seed: 5, MaxKeyGroups: 64}
+	rt, _ := run(t, cfg)
+	for _, in := range rt.Instances("agg") {
+		st := in.Store()
+		for _, kg := range st.Groups() {
+			for k := range st.Group(kg).Entries {
+				if state.KeyGroupOf(k, 64) != kg {
+					t.Fatalf("key %d in wrong group %d", k, kg)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{RatePerSec: 2500, Duration: simtime.Sec(1), Seed: 6, EmitUpdates: true}
+	_, a := run(t, cfg)
+	_, b := run(t, cfg)
+	if a.Records != b.Records {
+		t.Fatalf("non-deterministic: %d vs %d", a.Records, b.Records)
+	}
+	for k, v := range a.ByKey {
+		if bv := b.ByKey[k]; math.Abs(bv-v) > 1e-9 {
+			t.Fatalf("key %d diverged: %v vs %v", k, v, bv)
+		}
+	}
+}
