@@ -18,23 +18,26 @@ import (
 )
 
 // outcomeCache memoizes scenario runs so the Fig 10/11/12/13 benchmarks do
-// not re-simulate identical configurations.
-var (
-	outcomeMu    sync.Mutex
-	outcomeCache = map[string]bench.Outcome{}
-)
+// not re-simulate identical configurations. Each key owns a sync.Once, so
+// concurrent callers of distinct configurations simulate in parallel while
+// callers of the same configuration share one run — no lock is held while a
+// simulation executes.
+var outcomeCache sync.Map // key string → *outcomeEntry
+
+type outcomeEntry struct {
+	once sync.Once
+	o    bench.Outcome
+}
 
 func cachedRun(workload, mech string, seed int64) bench.Outcome {
 	key := fmt.Sprintf("%s|%s|%d", workload, mech, seed)
-	outcomeMu.Lock()
-	defer outcomeMu.Unlock()
-	if o, ok := outcomeCache[key]; ok {
-		return o
-	}
-	sc := bench.ScenarioByName(workload, seed)
-	o := sc.Run(bench.Mechanisms(mech))
-	outcomeCache[key] = o
-	return o
+	v, _ := outcomeCache.LoadOrStore(key, &outcomeEntry{})
+	e := v.(*outcomeEntry)
+	e.once.Do(func() {
+		sc := bench.ScenarioByName(workload, seed)
+		e.o = sc.Run(bench.Mechanisms(mech))
+	})
+	return e.o
 }
 
 // BenchmarkFig02_Motivation regenerates Fig 2: Unbound vs OTFS vs No Scale

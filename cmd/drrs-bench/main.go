@@ -6,38 +6,109 @@
 //	drrs-bench -experiment all
 //	drrs-bench -experiment fig10 -workload q7
 //	drrs-bench -experiment fig15 -seeds 1
+//	drrs-bench -experiment all -parallel 8 -perf BENCH.json
 //
 // Experiments: fig2, fig10 (also emits Figs 11–13 from the same runs),
 // fig14, fig15, all. Workloads for fig10: q7, q8, twitch, all.
+//
+// Independent (workload, mechanism, seed) runs execute on a worker pool of
+// -parallel goroutines (default GOMAXPROCS; 1 forces sequential). Every
+// simulation is single-threaded and seeded, so figure numbers are identical
+// at any parallelism. -perf writes a machine-readable JSON record of wall
+// time and simulated events per figure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"drrs/internal/bench"
 )
 
+// figurePerf is one figure's perf accounting in the -perf JSON record.
+type figurePerf struct {
+	Name         string  `json:"name"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// perfRecord is the top-level -perf JSON document.
+type perfRecord struct {
+	GeneratedAt  string       `json:"generated_at"`
+	GoMaxProcs   int          `json:"gomaxprocs"`
+	Workers      int          `json:"workers"`
+	Figures      []figurePerf `json:"figures"`
+	TotalWallMS  float64      `json:"total_wall_ms"`
+	TotalEvents  uint64       `json:"total_events"`
+	EventsPerSec float64      `json:"events_per_sec"`
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "fig2 | fig10 | fig14 | fig15 | ablation | all")
 	workloadName := flag.String("workload", "all", "q7 | q8 | twitch | all (fig10 only)")
 	seeds := flag.Int("seeds", 3, "number of repeated runs per configuration")
 	baseSeed := flag.Int64("seed", 1, "base seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS, 1 = sequential)")
+	perfOut := flag.String("perf", "", "write a JSON perf record (wall time, events/sec per figure) to this file")
 	flag.Parse()
+
+	bench.Workers = *parallel
 
 	var seedList []int64
 	for i := 0; i < *seeds; i++ {
 		seedList = append(seedList, *baseSeed+int64(i))
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perf := perfRecord{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+	}
 	run := func(name string, fn func() bench.FigureResult) {
+		ev0 := bench.EventsSimulated.Load()
 		t0 := time.Now()
 		res := fn()
-		fmt.Printf("==== %s (wall %v) ====\n%s\n", res.Title, time.Since(t0).Round(time.Millisecond), res.Text)
+		wall := time.Since(t0)
+		events := bench.EventsSimulated.Load() - ev0
+		perf.Figures = append(perf.Figures, figurePerf{
+			Name:         res.Title,
+			WallMS:       float64(wall.Microseconds()) / 1000,
+			Events:       events,
+			EventsPerSec: float64(events) / wall.Seconds(),
+		})
+		fmt.Printf("==== %s (wall %v, %d events) ====\n%s\n", res.Title, wall.Round(time.Millisecond), events, res.Text)
 	}
+	defer func() {
+		if *perfOut == "" {
+			return
+		}
+		for _, f := range perf.Figures {
+			perf.TotalWallMS += f.WallMS
+			perf.TotalEvents += f.Events
+		}
+		if perf.TotalWallMS > 0 {
+			perf.EventsPerSec = float64(perf.TotalEvents) / (perf.TotalWallMS / 1000)
+		}
+		data, err := json.MarshalIndent(perf, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*perfOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drrs-bench: writing perf record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf record written to %s\n", *perfOut)
+	}()
 
 	switch *experiment {
 	case "fig2":

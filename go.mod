@@ -1,0 +1,3 @@
+module drrs
+
+go 1.24

@@ -64,6 +64,9 @@ type Outcome struct {
 	Latency    *metrics.LatencyTracker
 	Throughput *metrics.ThroughputTracker
 	Scale      *metrics.ScalingMetrics
+	// Events is the number of scheduler events the run fired — the raw
+	// simulation work, used for events/second perf accounting.
+	Events uint64
 
 	// PreAvgMs is the average latency over the warmup (pre-scaling level).
 	PreAvgMs float64
@@ -114,6 +117,8 @@ func (sc Scenario) Run(mech scaling.Mechanism) Outcome {
 	s.Run()
 
 	out.EndAt = s.Now()
+	out.Events = s.Processed()
+	EventsSimulated.Add(s.Processed())
 	out.Latency = rt.Latency
 	out.Throughput = rt.Throughput
 	out.Scale = rt.Scale

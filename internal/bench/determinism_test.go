@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"testing"
+
+	"drrs/internal/metrics"
+)
+
+// requireSameOutcome asserts bit-for-bit equality of everything a run
+// measures: scheduler events, record counts, and the full latency series.
+func requireSameOutcome(t *testing.T, label string, a, b Outcome) {
+	t.Helper()
+	if a.Events != b.Events {
+		t.Fatalf("%s: events %d vs %d", label, a.Events, b.Events)
+	}
+	if a.Throughput.Total() != b.Throughput.Total() {
+		t.Fatalf("%s: processed %d vs %d", label, a.Throughput.Total(), b.Throughput.Total())
+	}
+	if a.ScaleAt != b.ScaleAt || a.EndAt != b.EndAt || a.StabilizedAt != b.StabilizedAt {
+		t.Fatalf("%s: timeline differs: %v/%v/%v vs %v/%v/%v", label,
+			a.ScaleAt, a.EndAt, a.StabilizedAt, b.ScaleAt, b.EndAt, b.StabilizedAt)
+	}
+	pa, pb := a.Latency.Series.Points(), b.Latency.Series.Points()
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: latency series length %d vs %d", label, len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("%s: latency sample %d differs: %+v vs %+v", label, i, pa[i], pb[i])
+		}
+	}
+	requireSameSeries(t, label+"/throughput", a.Throughput.Series(), b.Throughput.Series())
+}
+
+func requireSameSeries(t *testing.T, label string, a, b *metrics.Series) {
+	t.Helper()
+	pa, pb := a.Points(), b.Points()
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: series length %d vs %d", label, len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("%s: sample %d differs: %+v vs %+v", label, i, pa[i], pb[i])
+		}
+	}
+}
+
+// TestTwitchScenarioDeterminism is the regression guard for the fast-path
+// overhaul: the same seed must reproduce the run bit for bit — pooled events,
+// coalesced edge delivery, and record recycling included. It runs the full
+// Twitch scenario twice under DRRS (the scaling path stresses cancellation,
+// priority arrivals, and migration scheduling) and once more without scaling.
+func TestTwitchScenarioDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism test simulates ~200 virtual seconds")
+	}
+	const seed = 11
+	a := TwitchScenario(seed).Run(Mechanisms("drrs"))
+	b := TwitchScenario(seed).Run(Mechanisms("drrs"))
+	if !a.Done || !b.Done {
+		t.Fatal("scaling never completed")
+	}
+	requireSameOutcome(t, "twitch/drrs", a, b)
+
+	na := TwitchScenario(seed).Run(nil)
+	nb := TwitchScenario(seed).Run(nil)
+	requireSameOutcome(t, "twitch/no-scale", na, nb)
+}
+
+// TestRunParallelMatchesSequential guards the parallel scenario runner: the
+// same spec list must produce identical outcomes at any worker count,
+// because every run owns its scheduler, RNG streams, and metrics.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel-equality test simulates ~200 virtual seconds")
+	}
+	specs := []RunSpec{
+		{Scenario: TwitchScenario(7), Mechanism: "otfs"},
+		{Scenario: TwitchScenario(7), Mechanism: "no-scale"},
+		{Scenario: TwitchScenario(8), Mechanism: "megaphone"},
+	}
+	seq := RunParallel(specs, 1)
+	par := RunParallel(specs, len(specs))
+	for i := range specs {
+		requireSameOutcome(t, specs[i].Mechanism, seq[i], par[i])
+		if seq[i].Mechanism != par[i].Mechanism {
+			t.Fatalf("mechanism label differs at %d", i)
+		}
+	}
+}

@@ -107,15 +107,20 @@ func measureWindow(outs map[string][]Outcome) (simtime.Time, simtime.Time) {
 	return from, to
 }
 
-// compare runs one scenario under several mechanisms across seeds and
+// compare runs one scenario under several mechanisms across seeds (in
+// parallel across Workers; each run is independently deterministic) and
 // aggregates the paper's headline metrics.
 func compare(scenario func(int64) Scenario, mechs []string, seeds []int64) map[string][]Outcome {
-	outs := make(map[string][]Outcome)
+	specs := make([]RunSpec, 0, len(mechs)*len(seeds))
 	for _, mech := range mechs {
 		for _, seed := range seeds {
-			sc := scenario(seed)
-			outs[mech] = append(outs[mech], sc.Run(Mechanisms(mech)))
+			specs = append(specs, RunSpec{Scenario: scenario(seed), Mechanism: mech})
 		}
+	}
+	results := RunParallel(specs, Workers)
+	outs := make(map[string][]Outcome)
+	for i, sp := range specs {
+		outs[sp.Mechanism] = append(outs[sp.Mechanism], results[i])
 	}
 	return outs
 }
@@ -276,21 +281,25 @@ func Fig15(seed int64, rates []float64, stateBytes []int, skews []float64, mechs
 	if len(mechs) == 0 {
 		mechs = []string{"drrs", "megaphone", "meces"}
 	}
-	var pts []SensitivityPoint
+	// The grid cells are independent runs: fan them out across Workers.
+	var specs []RunSpec
+	var cells []SensitivityPoint
 	for _, mech := range mechs {
 		for _, skew := range skews {
 			for _, sb := range stateBytes {
 				for _, rate := range rates {
-					sc := SensitivityScenario(seed, rate, sb, skew)
-					o := sc.Run(Mechanisms(mech))
-					dev := o.Throughput.DeviationFrom(rate, o.ScaleAt, o.EndAt)
-					pts = append(pts, SensitivityPoint{
-						Mechanism: mech, RatePerSec: rate, StateBytes: sb,
-						Skew: skew, Deviation: dev,
+					specs = append(specs, RunSpec{Scenario: SensitivityScenario(seed, rate, sb, skew), Mechanism: mech})
+					cells = append(cells, SensitivityPoint{
+						Mechanism: mech, RatePerSec: rate, StateBytes: sb, Skew: skew,
 					})
 				}
 			}
 		}
+	}
+	results := RunParallel(specs, Workers)
+	pts := cells
+	for i, o := range results {
+		pts[i].Deviation = o.Throughput.DeviationFrom(pts[i].RatePerSec, o.ScaleAt, o.EndAt)
 	}
 	var b strings.Builder
 	b.WriteString("Fig 15 — Sensitivity: throughput deviation (records/s below offered load; lower is better)\n")

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is the scenario-runner worker count used by the figure harnesses:
+// 0 (the default) means GOMAXPROCS, 1 forces sequential execution.
+// cmd/drrs-bench exposes it as -parallel.
+//
+// Parallelism is across runs only: each simulation owns a private scheduler,
+// clock, RNG streams, and metrics, and stays single-threaded and
+// deterministic. Results are therefore bit-for-bit identical at any worker
+// count; only wall time changes.
+var Workers int
+
+// EventsSimulated counts scheduler events fired across all Scenario.Run
+// calls in this process (atomically, so parallel runs can share it). The
+// perf reporter in cmd/drrs-bench reads deltas around each figure.
+var EventsSimulated atomic.Uint64
+
+// RunSpec names one independent (scenario, mechanism) run for RunParallel.
+// The mechanism is constructed inside the worker (mechanisms carry per-run
+// state, so a shared instance would race).
+type RunSpec struct {
+	Scenario  Scenario
+	Mechanism string
+}
+
+// RunParallel executes specs across a worker pool and returns outcomes in
+// spec order. workers <= 0 selects GOMAXPROCS.
+func RunParallel(specs []RunSpec, workers int) []Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	out := make([]Outcome, len(specs))
+	if workers <= 1 {
+		for i, sp := range specs {
+			out[i] = sp.Scenario.Run(Mechanisms(sp.Mechanism))
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				out[i] = specs[i].Scenario.Run(Mechanisms(specs[i].Mechanism))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -122,10 +122,7 @@ func (h *opHook) OnScaleMessage(in *engine.Instance, msg netsim.Message, e *nets
 				break
 			}
 			// The handler's CanProcess gate guarantees the chunk is local.
-			in.Processed++
-			if in.Logic() != nil {
-				in.Logic().OnRecord(in, inner)
-			}
+			in.ApplyRecord(inner)
 		}
 		m.maybeCleanup()
 		return true

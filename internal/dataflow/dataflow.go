@@ -57,7 +57,10 @@ type OpContext interface {
 // Logic is the user-defined behaviour of an operator instance. A fresh Logic
 // value is created per instance via OperatorSpec.NewLogic.
 type Logic interface {
-	// OnRecord handles one data record.
+	// OnRecord handles one data record. The record is only valid for the
+	// duration of the call unless it is re-emitted: the engine recycles
+	// records that were not forwarded, so implementations must copy what they
+	// keep (key, value, times) rather than retain the pointer.
 	OnRecord(ctx OpContext, r *netsim.Record)
 	// OnWatermark fires when the instance's aligned watermark advances.
 	OnWatermark(ctx OpContext, wm simtime.Time)
@@ -76,6 +79,10 @@ type SourceContext interface {
 	// Ingest offers a record to the source's backlog; it will be emitted in
 	// order as downstream capacity allows. IngestTime is stamped here.
 	Ingest(r *netsim.Record)
+	// NewRecord returns a zeroed record from the engine's recycling pool.
+	// Sources should draw records here rather than allocating: the engine
+	// returns every record to the pool once it has been fully processed.
+	NewRecord() *netsim.Record
 	// EmitWatermark broadcasts an event-time watermark downstream.
 	EmitWatermark(wm simtime.Time)
 	// InstanceIndex identifies the parallel source subtask.

@@ -99,11 +99,16 @@ type Runtime struct {
 	ckptSeq   int64
 	ckpt      *checkpointRound
 
+	// recPool recycles Record values on the ingest path: sources and marker
+	// injection draw from it, and records are returned when they die (applied
+	// without being forwarded, or a marker reaching its sink).
+	recPool netsim.RecordPool
+
 	// OnMarkerSink, if set, is called for each marker reaching a sink
 	// (after latency recording).
 	OnMarkerSink func(r *netsim.Record)
 
-	markerTimer *simtime.Timer
+	markerTimer simtime.Timer
 }
 
 // New builds a runtime for the graph: it validates the DAG, creates all
@@ -242,12 +247,11 @@ func (rt *Runtime) injectMarkers() {
 		}
 		for _, in := range rt.instances[name] {
 			rt.markerSeq++
-			m := &netsim.Record{
-				Key:        rt.markerSeq,
-				IngestTime: rt.Sched.Now(),
-				Size:       32,
-				Marker:     true,
-			}
+			m := rt.recPool.Get()
+			m.Key = rt.markerSeq
+			m.IngestTime = rt.Sched.Now()
+			m.Size = 32
+			m.Marker = true
 			in.ingest(m)
 		}
 	}
@@ -255,9 +259,7 @@ func (rt *Runtime) injectMarkers() {
 
 // StopMarkers halts marker injection (used at experiment teardown).
 func (rt *Runtime) StopMarkers() {
-	if rt.markerTimer != nil {
-		rt.markerTimer.Cancel()
-	}
+	rt.markerTimer.Cancel()
 }
 
 // NextSeq hands out a global record sequence number.

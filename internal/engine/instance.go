@@ -92,6 +92,16 @@ type Instance struct {
 	wakeQueued bool
 	costRng    *simtime.RNG
 
+	// Prebound closures and in-progress message state keep the per-record
+	// scheduling path free of closure allocations.
+	stepFn  func()
+	doneFn  func()
+	curMsg  netsim.Message
+	curEdge *netsim.Edge
+	// recycleCandidate is the record being applied; Emit clears it when the
+	// same pointer is forwarded downstream, otherwise apply recycles it.
+	recycleCandidate *netsim.Record
+
 	// Processed counts data records handled by this instance.
 	Processed uint64
 }
@@ -120,6 +130,8 @@ func (rt *Runtime) newInstance(spec *dataflow.OperatorSpec, idx int) *Instance {
 		in.logic = spec.NewLogic()
 	}
 	in.handler = &NativeHandler{}
+	in.stepFn = in.step
+	in.doneFn = in.processDone
 	return in
 }
 
@@ -201,7 +213,7 @@ func (in *Instance) Wake() {
 		return
 	}
 	in.wakeQueued = true
-	in.rt.Sched.After(0, in.step)
+	in.rt.Sched.After(0, in.stepFn)
 }
 
 func (in *Instance) step() {
@@ -289,11 +301,16 @@ func (in *Instance) costOf(m netsim.Message) simtime.Duration {
 
 func (in *Instance) process(m netsim.Message, e *netsim.Edge) {
 	in.busy = true
-	in.rt.Sched.After(in.costOf(m), func() {
-		in.busy = false
-		in.apply(m, e)
-		in.Wake()
-	})
+	in.curMsg, in.curEdge = m, e
+	in.rt.Sched.After(in.costOf(m), in.doneFn)
+}
+
+func (in *Instance) processDone() {
+	m, e := in.curMsg, in.curEdge
+	in.curMsg, in.curEdge = nil, nil
+	in.busy = false
+	in.apply(m, e)
+	in.Wake()
 }
 
 // apply dispatches one consumed message.
@@ -307,10 +324,7 @@ func (in *Instance) apply(m netsim.Message, e *netsim.Edge) {
 			in.forwardMarker(msg)
 			return
 		}
-		in.Processed++
-		if in.logic != nil {
-			in.logic.OnRecord(in, msg)
-		}
+		in.ApplyRecord(msg)
 	case *netsim.Watermark:
 		in.onWatermark(msg, e)
 	case *netsim.CheckpointBarrier:
@@ -330,21 +344,47 @@ func (in *Instance) apply(m netsim.Message, e *netsim.Edge) {
 	}
 }
 
+// ApplyRecord runs one data record through the instance's logic with the
+// record-recycling bookkeeping: the record dies here — and returns to the
+// ingest pool — unless the logic forwards the very same pointer downstream
+// (Emit clears the candidate). Scaling hooks use it for rerouted records so
+// the migration window recycles like the steady state.
+func (in *Instance) ApplyRecord(r *netsim.Record) {
+	in.Processed++
+	if in.logic == nil {
+		return
+	}
+	in.recycleCandidate = r
+	in.logic.OnRecord(in, r)
+	if in.recycleCandidate == r {
+		in.rt.recPool.Put(r)
+	}
+	in.recycleCandidate = nil
+}
+
 // --- OpContext implementation (what operator logic sees) ---
 
 // Emit routes a record to all downstream operators. With multiple outputs the
 // record is copied per output stream.
 func (in *Instance) Emit(r *netsim.Record) {
+	if r == in.recycleCandidate {
+		in.recycleCandidate = nil // forwarded: the pointer lives on downstream
+	}
 	outs := in.rt.Graph.Outputs(in.Spec.Name)
 	for i, se := range outs {
 		rec := r
 		if i > 0 {
-			c := *r
-			rec = &c
+			c := in.rt.recPool.Get()
+			*c = *r
+			rec = c
 		}
 		in.routeTo(se, rec)
 	}
 }
+
+// NewRecord draws a zeroed record from the runtime's recycling pool (the
+// emission-side counterpart of SourceContext.NewRecord).
+func (in *Instance) NewRecord() *netsim.Record { return in.rt.recPool.Get() }
 
 // Now implements dataflow.OpContext.
 func (in *Instance) Now() simtime.Time { return in.rt.Sched.Now() }
@@ -378,8 +418,9 @@ func (in *Instance) routeTo(se dataflow.StreamEdge, r *netsim.Record) {
 		for i, e := range edges {
 			rec := r
 			if i > 0 {
-				c := *r
-				rec = &c
+				c := in.rt.recPool.Get()
+				*c = *r
+				rec = c
 			}
 			in.send(e, rec)
 		}
@@ -448,6 +489,9 @@ func (in *Instance) forwardMarker(r *netsim.Record) {
 		if in.rt.OnMarkerSink != nil {
 			in.rt.OnMarkerSink(r)
 		}
+		// The marker's journey ends at the sink; recycle it. OnMarkerSink must
+		// not retain the pointer.
+		in.rt.recPool.Put(r)
 		return
 	}
 	in.Emit(r)
@@ -583,6 +627,9 @@ func (c sourceContext) After(d simtime.Duration, fn func()) {
 	c.in.rt.Sched.After(d, fn)
 }
 func (c sourceContext) Ingest(r *netsim.Record) { c.in.ingest(r) }
+func (c sourceContext) NewRecord() *netsim.Record {
+	return c.in.rt.recPool.Get()
+}
 func (c sourceContext) EmitWatermark(wm simtime.Time) {
 	c.in.backlog.PushBack(&netsim.Watermark{WM: wm})
 	c.in.Wake()

@@ -43,19 +43,29 @@ func (l *KeyedReduceLogic) OnRecord(ctx dataflow.OpContext, r *netsim.Record) {
 	}
 	ctx.State().Put(r.Key, acc, sb)
 	if l.EmitUpdates {
-		ctx.Emit(&netsim.Record{
-			Key:        r.Key,
-			EventTime:  r.EventTime,
-			IngestTime: r.IngestTime,
-			Seq:        r.Seq,
-			Size:       32,
-			Data:       acc,
-		})
+		out := newRecord(ctx)
+		out.Key = r.Key
+		out.EventTime = r.EventTime
+		out.IngestTime = r.IngestTime
+		out.Seq = r.Seq
+		out.Size = 32
+		out.Data = acc
+		ctx.Emit(out)
 	}
 }
 
 // OnWatermark implements dataflow.Logic.
 func (l *KeyedReduceLogic) OnWatermark(dataflow.OpContext, simtime.Time) {}
+
+// newRecord draws an output record from the engine's recycling pool when the
+// context provides one (Instance does); plain contexts fall back to
+// allocation, so logic stays usable against test fakes.
+func newRecord(ctx dataflow.OpContext) *netsim.Record {
+	if p, ok := ctx.(interface{ NewRecord() *netsim.Record }); ok {
+		return p.NewRecord()
+	}
+	return &netsim.Record{}
+}
 
 func recordValue(r *netsim.Record) float64 {
 	switch v := r.Data.(type) {
@@ -235,12 +245,12 @@ func (l *SlidingWindowLogic) fireWindow(ctx dataflow.OpContext, end simtime.Time
 			if l.Agg != nil {
 				agg = l.Agg(vals)
 			}
-			ctx.Emit(&netsim.Record{
-				Key:       key,
-				EventTime: end,
-				Size:      32,
-				Data:      agg,
-			})
+			out := newRecord(ctx)
+			out.Key = key
+			out.EventTime = end
+			out.Size = 32
+			out.Data = agg
+			ctx.Emit(out)
 		}
 	}
 }
@@ -335,12 +345,12 @@ func (l *WindowJoinLogic) fire(ctx dataflow.OpContext, end simtime.Time) {
 			}
 			nl, nr := inWin(js.Left), inWin(js.Right)
 			if nl > 0 && nr > 0 {
-				ctx.Emit(&netsim.Record{
-					Key:       key,
-					EventTime: end,
-					Size:      32,
-					Data:      float64(nl * nr),
-				})
+				out := newRecord(ctx)
+				out.Key = key
+				out.EventTime = end
+				out.Size = 32
+				out.Data = float64(nl * nr)
+				ctx.Emit(out)
 			}
 			trim := func(es []paneEntry) []paneEntry {
 				kept := es[:0]

@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"testing"
+
+	"drrs/internal/simtime"
+)
+
+// benchEdge wires an edge whose receiver drains the inbox immediately —
+// the engine's steady-state pattern with a fast consumer.
+func benchEdge(caps int) (*simtime.Scheduler, *Edge) {
+	s := simtime.NewScheduler()
+	e := NewEdge(s, Endpoint{Op: "a"}, Endpoint{Op: "b"}, EdgeConfig{
+		Latency: simtime.Ms(0.5),
+		OutCap:  caps,
+		InCap:   caps,
+	})
+	e.SetReceiver(func(e *Edge) {
+		for e.InboxLen() > 0 {
+			e.PopInbox()
+		}
+	})
+	return s, e
+}
+
+// BenchmarkEdgePump measures the per-message cost of the coalesced delivery
+// path: send → (single-timer) link → inbox → consume → recycle, the engine's
+// actual steady-state loop.
+func BenchmarkEdgePump(b *testing.B) {
+	s, e := benchEdge(128)
+	var pool RecordPool
+	e.SetReceiver(func(e *Edge) {
+		for e.InboxLen() > 0 {
+			if r, ok := e.PopInbox().(*Record); ok {
+				pool.Put(r)
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := pool.Get()
+		r.Key = uint64(i)
+		r.Size = 64
+		if !e.TrySend(r) {
+			s.Run() // drain backpressure, then retry
+			e.TrySend(r)
+		}
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
+	if e.Delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+	b.ReportMetric(float64(e.Delivered), "delivered")
+}
+
+// BenchmarkEdgePumpBandwidth exercises the serialization path (finite
+// bandwidth makes every message occupy the link).
+func BenchmarkEdgePumpBandwidth(b *testing.B) {
+	s := simtime.NewScheduler()
+	e := NewEdge(s, Endpoint{Op: "a"}, Endpoint{Op: "b"}, EdgeConfig{
+		Latency:   simtime.Ms(0.5),
+		Bandwidth: 64 << 20,
+		OutCap:    128,
+		InCap:     128,
+	})
+	var pool RecordPool
+	e.SetReceiver(func(e *Edge) {
+		for e.InboxLen() > 0 {
+			if r, ok := e.PopInbox().(*Record); ok {
+				pool.Put(r)
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := pool.Get()
+		r.Size = 64
+		if !e.TrySend(r) {
+			s.Run()
+			e.TrySend(r)
+		}
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// TestEdgePumpSteadyStateAllocs is the CI guard for the coalesced delivery
+// path: once deques, the arrival queue, and the scheduler pool are warm,
+// pushing a pooled record through the edge must not allocate.
+func TestEdgePumpSteadyStateAllocs(t *testing.T) {
+	s, e := benchEdge(128)
+	var pool RecordPool
+	recycle := func(m Message) {
+		if r, ok := m.(*Record); ok {
+			pool.Put(r)
+		}
+	}
+	e.SetReceiver(func(e *Edge) {
+		for e.InboxLen() > 0 {
+			recycle(e.PopInbox())
+		}
+	})
+	// Warm everything.
+	for i := 0; i < 512; i++ {
+		e.TrySend(pool.Get())
+		if i%32 == 31 {
+			s.Run()
+		}
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			r := pool.Get()
+			r.Size = 64
+			e.TrySend(r)
+		}
+		s.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("edge steady state allocates %.2f objects per batch, want 0", avg)
+	}
+}
+
+// TestEdgeCoalescedDeliveryTiming pins that coalescing did not change
+// arrival *times*: three back-to-back messages on a bandwidth-limited link
+// arrive pipelined exactly as the per-message implementation delivered them.
+func TestEdgeCoalescedDeliveryTiming(t *testing.T) {
+	s := simtime.NewScheduler()
+	e := NewEdge(s, Endpoint{Op: "a"}, Endpoint{Op: "b"}, EdgeConfig{
+		Latency:   simtime.Duration(1000),
+		Bandwidth: 64_000, // 64 bytes / 64000 B/s = 1 ms serialization
+	})
+	var arrivals []simtime.Time
+	e.SetReceiver(func(e *Edge) {
+		for e.InboxLen() > 0 {
+			e.PopInbox()
+			arrivals = append(arrivals, s.Now())
+		}
+	})
+	for i := 0; i < 3; i++ {
+		e.TrySend(&Record{Size: 64})
+	}
+	s.Run()
+	// Serialization is 1 ms per message (back to back), propagation 1 ms:
+	// arrivals at 2 ms, 3 ms, 4 ms.
+	want := []simtime.Time{2000, 3000, 4000}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals %v", arrivals)
+	}
+	for i, w := range want {
+		if arrivals[i] != w {
+			t.Fatalf("arrival %d at %v, want %v (got %v)", i, arrivals[i], w, arrivals)
+		}
+	}
+	if e.InFlight() != 0 {
+		t.Fatalf("in-flight %d after drain", e.InFlight())
+	}
+}
+
+// TestRecordPoolRecycle pins the pool contract: Put zeroes, Get reuses.
+func TestRecordPoolRecycle(t *testing.T) {
+	var p RecordPool
+	r := p.Get()
+	r.Key = 42
+	r.Data = "payload"
+	p.Put(r)
+	if p.Len() != 1 {
+		t.Fatalf("pool len %d", p.Len())
+	}
+	r2 := p.Get()
+	if r2 != r {
+		t.Fatal("pool did not recycle the record")
+	}
+	if r2.Key != 0 || r2.Data != nil {
+		t.Fatalf("recycled record not zeroed: %+v", r2)
+	}
+	p.Put(nil) // must not panic
+}

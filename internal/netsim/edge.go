@@ -43,11 +43,18 @@ type Edge struct {
 	outbox Deque[Message]
 	inbox  Deque[Message]
 
-	inFlight      int
+	// arrivals is the ordered pending-arrival queue of messages on the link.
+	// Arrival instants are nondecreasing (a FIFO link admits no overtaking),
+	// so a single outstanding timer at the head instant drains the whole
+	// queue — one scheduled event per busy period instead of one per message.
+	arrivals      Deque[pendingArrival]
+	timerArmed    bool
+	deliverFn     func()
 	linkBusyUntil simtime.Time
 
 	onArrival  func(*Edge)
 	onOutSpace func()
+	wakeFn     func()
 	wakeQueued bool
 
 	// Delivered counts messages that reached the inbox, for tests and debug.
@@ -64,9 +71,15 @@ type EdgeConfig struct {
 	InCap     int
 }
 
+// pendingArrival is one in-flight message and its arrival instant.
+type pendingArrival struct {
+	msg Message
+	at  simtime.Time
+}
+
 // NewEdge builds an edge between src and dst on the given scheduler.
 func NewEdge(s *simtime.Scheduler, src, dst Endpoint, cfg EdgeConfig) *Edge {
-	return &Edge{
+	e := &Edge{
 		sched:     s,
 		Src:       src,
 		Dst:       dst,
@@ -76,6 +89,13 @@ func NewEdge(s *simtime.Scheduler, src, dst Endpoint, cfg EdgeConfig) *Edge {
 		OutCap:    cfg.OutCap,
 		InCap:     cfg.InCap,
 	}
+	// Prebound so the hot path never allocates a closure.
+	e.deliverFn = e.deliver
+	e.wakeFn = func() {
+		e.wakeQueued = false
+		e.onOutSpace()
+	}
+	return e
 }
 
 // SetReceiver installs the arrival callback (the receiving instance's wake).
@@ -118,7 +138,7 @@ func (e *Edge) ForceSend(m Message) {
 }
 
 func (e *Edge) inboxSpace() bool {
-	return e.InCap <= 0 || e.inbox.Len()+e.inFlight < e.InCap
+	return e.InCap <= 0 || e.inbox.Len()+e.arrivals.Len() < e.InCap
 }
 
 // isDataKind reports whether a message consumes buffer capacity; control
@@ -154,13 +174,27 @@ func (e *Edge) pump() {
 		}
 		e.linkBusyUntil = depart.Add(ser)
 		arrive := e.linkBusyUntil.Add(e.Latency)
-		e.inFlight++
-		msg := m
-		e.sched.At(arrive, func() { e.arrive(msg) })
+		// A FIFO link admits no overtaking; clamp in case Latency was lowered
+		// while messages were in flight.
+		if n := e.arrivals.Len(); n > 0 && arrive < e.arrivals.At(n-1).at {
+			arrive = e.arrivals.At(n - 1).at
+		}
+		e.arrivals.PushBack(pendingArrival{msg: m, at: arrive})
+		e.armDeliver()
 	}
 	if freed {
 		e.wakeSender()
 	}
+}
+
+// armDeliver keeps exactly one timer outstanding: the head arrival. Arrival
+// instants are nondecreasing, so later pushes never need to re-arm earlier.
+func (e *Edge) armDeliver() {
+	if e.timerArmed || e.arrivals.Len() == 0 {
+		return
+	}
+	e.timerArmed = true
+	e.sched.At(e.arrivals.At(0).at, e.deliverFn)
 }
 
 func (e *Edge) wakeSender() {
@@ -168,24 +202,28 @@ func (e *Edge) wakeSender() {
 		return
 	}
 	e.wakeQueued = true
-	e.sched.After(0, func() {
-		e.wakeQueued = false
-		e.onOutSpace()
-	})
+	e.sched.After(0, e.wakeFn)
 }
 
-func (e *Edge) arrive(m Message) {
-	e.inFlight--
-	if m.MsgKind() == KindTriggerBarrier {
-		e.inbox.PushFront(m)
-	} else {
-		e.inbox.PushBack(m)
+// deliver drains every arrival due at the current instant into the inbox,
+// then re-arms for the next pending arrival.
+func (e *Edge) deliver() {
+	e.timerArmed = false
+	now := e.sched.Now()
+	for e.arrivals.Len() > 0 && e.arrivals.At(0).at <= now {
+		m := e.arrivals.PopFront().msg
+		if m.MsgKind() == KindTriggerBarrier {
+			e.inbox.PushFront(m)
+		} else {
+			e.inbox.PushBack(m)
+		}
+		e.Delivered++
+		e.DeliveredBytes += uint64(m.SizeBytes())
+		if e.onArrival != nil {
+			e.onArrival(e)
+		}
 	}
-	e.Delivered++
-	e.DeliveredBytes += uint64(m.SizeBytes())
-	if e.onArrival != nil {
-		e.onArrival(e)
-	}
+	e.armDeliver()
 }
 
 // InboxLen reports the number of arrived, unconsumed messages.
@@ -220,10 +258,10 @@ func (e *Edge) OutboxLen() int { return e.outbox.Len() }
 func (e *Edge) OutboxAt(i int) Message { return e.outbox.At(i) }
 
 // InFlight reports messages currently on the link.
-func (e *Edge) InFlight() int { return e.inFlight }
+func (e *Edge) InFlight() int { return e.arrivals.Len() }
 
 // QueuedTotal reports outbox + in-flight + inbox occupancy.
-func (e *Edge) QueuedTotal() int { return e.outbox.Len() + e.inFlight + e.inbox.Len() }
+func (e *Edge) QueuedTotal() int { return e.outbox.Len() + e.arrivals.Len() + e.inbox.Len() }
 
 // ExtractOutbox removes every queued message for which take returns true,
 // scanning from the front and stopping (exclusively) at the first message for

@@ -1,0 +1,36 @@
+package netsim
+
+// RecordPool is a free-list recycler for Record values on the ingest path.
+// A simulation is single-threaded, so the pool is deliberately unsynchronized;
+// each run (engine runtime) owns its own pool. Get falls back to allocation
+// when empty, and Put drops records beyond a bound so a burst cannot pin
+// memory for the rest of a run.
+type RecordPool struct {
+	free []*Record
+}
+
+// poolCap bounds retained records (~64K records ≈ a few MB of headers).
+const poolCap = 1 << 16
+
+// Get returns a zeroed record, recycling a dead one when available.
+func (p *RecordPool) Get() *Record {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &Record{}
+}
+
+// Put recycles a record the caller owns. The record must not be referenced
+// anywhere else: it is zeroed and handed out again by a later Get.
+func (p *RecordPool) Put(r *Record) {
+	if r == nil || len(p.free) >= poolCap {
+		return
+	}
+	*r = Record{}
+	p.free = append(p.free, r)
+}
+
+// Len reports how many records the pool currently holds (for tests).
+func (p *RecordPool) Len() int { return len(p.free) }

@@ -18,7 +18,6 @@ package nexmark
 import (
 	"drrs/internal/dataflow"
 	"drrs/internal/engine"
-	"drrs/internal/netsim"
 	"drrs/internal/simtime"
 )
 
@@ -148,16 +147,16 @@ func bidSource(cfg Q7Config) dataflow.SourceFunc {
 				return
 			}
 			auction := uint64(zipf.Next()) + 1
-			ctx.Ingest(&netsim.Record{
-				Key:       auction,
-				EventTime: now,
-				Size:      120,
-				Data: Bid{
-					Auction: auction,
-					Bidder:  uint64(rng.Intn(100000)),
-					Price:   10 + rng.Float64()*990,
-				},
-			})
+			r := ctx.NewRecord()
+			r.Key = auction
+			r.EventTime = now
+			r.Size = 120
+			r.Data = Bid{
+				Auction: auction,
+				Bidder:  uint64(rng.Intn(100000)),
+				Price:   10 + rng.Float64()*990,
+			}
+			ctx.Ingest(r)
 			if now >= nextWM {
 				ctx.EmitWatermark(now - simtime.Time(simtime.Ms(1)))
 				nextWM = now.Add(simtime.Ms(50))
@@ -290,12 +289,12 @@ func q8Source(cfg Q8Config, left bool, rate float64, name string) dataflow.Sourc
 				data = engine.JoinSide{Left: false, Value: 1}
 				_ = AuctionEvt{Auction: uint64(rng.Intn(1 << 20)), Seller: person}
 			}
-			ctx.Ingest(&netsim.Record{
-				Key:       person,
-				EventTime: now,
-				Size:      150,
-				Data:      data,
-			})
+			r := ctx.NewRecord()
+			r.Key = person
+			r.EventTime = now
+			r.Size = 150
+			r.Data = data
+			ctx.Ingest(r)
 			if now >= nextWM {
 				ctx.EmitWatermark(now - simtime.Time(simtime.Ms(1)))
 				nextWM = now.Add(simtime.Ms(100))

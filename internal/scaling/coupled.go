@@ -236,13 +236,20 @@ func (c *CoupledController) oldInstanceAligned(idx, r int) {
 	if c.Fluid {
 		// Per-source sequential chains run in parallel across sources.
 		bySrc := make(map[int][]int)
+		var srcs []int
 		for _, kg := range c.rounds[r] {
 			mv := c.moveOf(kg)
+			if _, seen := bySrc[mv.From]; !seen {
+				srcs = append(srcs, mv.From)
+			}
 			bySrc[mv.From] = append(bySrc[mv.From], kg)
 		}
+		// Deterministic launch order: map iteration order would perturb event
+		// sequencing (and therefore run results) between identical runs.
+		sort.Ints(srcs)
 		remaining := len(bySrc)
-		for _, kgs := range bySrc {
-			c.mig.MigrateSequence(kgs, sig, func() {
+		for _, src := range srcs {
+			c.mig.MigrateSequence(bySrc[src], sig, func() {
 				remaining--
 				if remaining == 0 {
 					onRoundDone()

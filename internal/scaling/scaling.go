@@ -7,6 +7,7 @@ package scaling
 
 import (
 	"fmt"
+	"sort"
 
 	"drrs/internal/dataflow"
 	"drrs/internal/engine"
@@ -234,20 +235,31 @@ func (m *Migrator) MigrateAllAtOnce(kgs []int, signal string, done func()) {
 	}
 	batches := make(map[pair][]item)
 	bytes := make(map[pair]int)
+	var pairs []pair
 	for _, kg := range kgs {
 		mv := m.findMove(kg)
 		from := m.rt.Instance(m.plan.Operator, mv.From)
 		g := from.Store().ExtractGroup(kg)
 		p := pair{from: mv.From, to: mv.To}
+		if _, seen := batches[p]; !seen {
+			pairs = append(pairs, p)
+		}
 		batches[p] = append(batches[p], item{kg: kg, g: g})
 		if g != nil {
 			bytes[p] += g.Bytes
 		}
 	}
+	// Deterministic transfer launch order (map iteration would vary per run).
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
 	m.rt.Scale.FirstMigration(signal, m.rt.Sched.Now())
 	remaining := len(batches)
-	for p, items := range batches {
-		p, items := p, items
+	for _, p := range pairs {
+		p, items := p, batches[p]
 		from := m.rt.Instance(m.plan.Operator, p.from)
 		to := m.rt.Instance(m.plan.Operator, p.to)
 		m.rt.Cluster.Transfer(from.Endpoint(), to.Endpoint(), bytes[p], func() {

@@ -12,6 +12,8 @@
 package unbound
 
 import (
+	"sort"
+
 	"drrs/internal/engine"
 	"drrs/internal/netsim"
 	"drrs/internal/scaling"
@@ -59,11 +61,17 @@ func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
 		// live shells (overwriting concurrent updates — the correctness hole
 		// Unbound deliberately accepts).
 		bySrc := make(map[int][]int)
+		var srcs []int
 		for _, mv := range plan.Moves {
+			if _, seen := bySrc[mv.From]; !seen {
+				srcs = append(srcs, mv.From)
+			}
 			bySrc[mv.From] = append(bySrc[mv.From], mv.KeyGroup)
 		}
-		for _, kgs := range bySrc {
-			mig.MigrateSequence(kgs, signal, nil)
+		// Launch in sorted source order so runs are replayable bit-for-bit.
+		sort.Ints(srcs)
+		for _, src := range srcs {
+			mig.MigrateSequence(bySrc[src], signal, nil)
 		}
 	})
 }

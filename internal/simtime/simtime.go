@@ -7,10 +7,16 @@
 // count, not wall time, so runs are fast and fully deterministic. Events at
 // the same instant fire in scheduling order (a monotone sequence number
 // breaks ties), which makes every experiment replayable bit-for-bit.
+//
+// The scheduler is built for the simulation hot path: events live in a
+// free-list pool (no per-event heap allocation in steady state), the time
+// ordering is a hand-rolled 4-ary heap indexed by pool slot (cancellation is
+// an O(log n) indexed removal, never a lazy tombstone), and events scheduled
+// for the current instant — the ubiquitous After(0, ...) wake pattern — go
+// through a FIFO fast lane that bypasses the heap entirely.
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -59,65 +65,74 @@ func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 // String formats the duration as milliseconds.
 func (d Duration) String() string { return fmt.Sprintf("%.3fms", d.Millis()) }
 
-// Timer is a handle to a scheduled event. Cancelling a fired or already
-// cancelled timer is a no-op.
+// Event placement states (the event.where field): non-negative values are
+// heap positions.
+const (
+	whereFree     int32 = -1 // in the free list (or fired)
+	whereLane     int32 = -2 // queued in the same-instant fast lane
+	whereLaneDead int32 = -3 // cancelled while in the fast lane, not yet drained
+)
+
+// event is one pooled scheduler entry. Events are recycled through a free
+// list; the generation counter invalidates stale Timer handles on reuse.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	gen   uint32
+	where int32
+}
+
+// Timer is a handle to a scheduled event. The zero Timer is valid and
+// behaves as an already-fired event. Cancelling a fired or already cancelled
+// timer is a no-op.
 type Timer struct {
-	ev *event
+	s   *Scheduler
+	idx int32
+	gen uint32
 }
 
 // Cancel prevents the event from firing. Reports whether the event was still
-// pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+// pending. Cancellation of a heap event removes it immediately (indexed
+// removal), so Pending() never over-counts cancelled events.
+func (t Timer) Cancel() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.cancelled = true
-	return true
+	return t.s.cancel(t.idx, t.gen)
 }
 
 // Pending reports whether the timer's event has neither fired nor been
 // cancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
-}
-
-type event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	fired     bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (t Timer) Pending() bool {
+	if t.s == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	ev := &t.s.pool[t.idx]
+	return ev.gen == t.gen && ev.where != whereLaneDead && ev.where != whereFree
 }
 
 // Scheduler is a deterministic discrete-event scheduler.
 //
-// It is not safe for concurrent use; the whole simulation is single-threaded
-// by design.
+// It is not safe for concurrent use; each simulation is single-threaded by
+// design (the parallel scenario runner gives every run its own Scheduler).
 type Scheduler struct {
 	now     Time
-	events  eventHeap
 	seq     uint64
 	stepped uint64
+	live    int // scheduled and neither fired nor cancelled
+
+	pool []event
+	free []int32
+
+	// heap is a 4-ary min-heap of pool indices ordered by (at, seq);
+	// pool[i].where tracks each event's heap position for O(log n) removal.
+	heap []int32
+
+	// lane is a FIFO ring of pool indices for events at the current instant.
+	lane     []int32
+	laneHead int
+	laneLen  int
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -131,45 +146,138 @@ func (s *Scheduler) Now() Time { return s.now }
 // Processed reports how many events have fired so far.
 func (s *Scheduler) Processed() uint64 { return s.stepped }
 
-// Pending reports how many events are queued (including cancelled ones not
-// yet drained).
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending reports how many events are scheduled and still runnable.
+// Cancelled events never count: heap cancellation removes the event
+// immediately, and fast-lane cancellation decrements the live count.
+func (s *Scheduler) Pending() int { return s.live }
+
+// alloc takes an event slot from the free list (or grows the pool) and
+// stamps it with the next sequence number.
+func (s *Scheduler) alloc(at Time, fn func()) int32 {
+	var i int32
+	if n := len(s.free); n > 0 {
+		i = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.pool = append(s.pool, event{where: whereFree})
+		i = int32(len(s.pool) - 1)
+	}
+	ev := &s.pool[i]
+	ev.at = at
+	ev.fn = fn
+	ev.seq = s.seq
+	s.seq++
+	return i
+}
+
+// release returns a slot to the free list, invalidating outstanding Timers.
+func (s *Scheduler) release(i int32) {
+	ev := &s.pool[i]
+	ev.fn = nil
+	ev.where = whereFree
+	ev.gen++
+	s.free = append(s.free, i)
+}
 
 // At schedules fn to run at instant t. Scheduling in the past panics: it
-// always indicates a simulation bug.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
+// always indicates a simulation bug. Scheduling at the current instant takes
+// the FIFO fast lane and never touches the heap.
+func (s *Scheduler) At(t Time, fn func()) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	i := s.alloc(t, fn)
+	s.live++
+	if t == s.now {
+		s.pool[i].where = whereLane
+		s.lanePush(i)
+	} else {
+		s.heapPush(i)
+	}
+	return Timer{s: s, idx: i, gen: s.pool[i].gen}
 }
 
 // After schedules fn to run d after the current time. Negative d is treated
 // as zero.
-func (s *Scheduler) After(d Duration, fn func()) *Timer {
+func (s *Scheduler) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now.Add(d), fn)
 }
 
+func (s *Scheduler) cancel(idx int32, gen uint32) bool {
+	ev := &s.pool[idx]
+	if ev.gen != gen {
+		return false
+	}
+	switch {
+	case ev.where >= 0:
+		s.heapRemoveAt(int(ev.where))
+		s.release(idx)
+		s.live--
+		return true
+	case ev.where == whereLane:
+		// The lane is a ring; mark the entry dead and let the drain skip it.
+		// Lane entries only live within the current instant, so the tombstone
+		// is gone by the time the clock next advances.
+		ev.where = whereLaneDead
+		ev.fn = nil
+		s.live--
+		return true
+	default:
+		return false
+	}
+}
+
 // Step fires the next event. It reports false when no runnable event remains.
+//
+// Ordering: heap events at the current instant were necessarily scheduled
+// before the clock reached it (later same-instant arrivals go to the lane),
+// so they carry smaller sequence numbers than every lane entry and fire
+// first; then the lane drains FIFO; only then may the clock advance.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(*event)
-		if ev.cancelled {
-			continue
+	for {
+		var i int32
+		switch {
+		case len(s.heap) > 0 && s.pool[s.heap[0]].at == s.now:
+			i = s.heapPopMin()
+		case s.laneLen > 0:
+			i = s.lanePop()
+			if s.pool[i].where == whereLaneDead {
+				s.release(i)
+				continue
+			}
+		case len(s.heap) > 0:
+			i = s.heapPopMin()
+		default:
+			return false
 		}
+		ev := &s.pool[i]
 		s.now = ev.at
-		ev.fired = true
+		fn := ev.fn
+		s.release(i)
+		s.live--
 		s.stepped++
-		ev.fn()
+		fn()
 		return true
 	}
-	return false
+}
+
+// nextAt reports the instant of the next runnable event.
+func (s *Scheduler) nextAt() (Time, bool) {
+	for s.laneLen > 0 {
+		i := s.lane[s.laneHead]
+		if s.pool[i].where != whereLaneDead {
+			return s.now, true
+		}
+		s.lanePop()
+		s.release(i)
+	}
+	if len(s.heap) > 0 {
+		return s.pool[s.heap[0]].at, true
+	}
+	return 0, false
 }
 
 // RunUntil fires events until the queue is exhausted or the next event lies
@@ -177,8 +285,8 @@ func (s *Scheduler) Step() bool {
 // before its current value.
 func (s *Scheduler) RunUntil(t Time) {
 	for {
-		ev := s.peek()
-		if ev == nil || ev.at > t {
+		at, ok := s.nextAt()
+		if !ok || at > t {
 			break
 		}
 		s.Step()
@@ -194,13 +302,116 @@ func (s *Scheduler) Run() {
 	}
 }
 
-func (s *Scheduler) peek() *event {
-	for len(s.events) > 0 {
-		if s.events[0].cancelled {
-			heap.Pop(&s.events)
-			continue
-		}
-		return s.events[0]
+// --- 4-ary indexed heap ---
+
+// less orders events by (at, seq).
+func (s *Scheduler) less(a, b int32) bool {
+	ea, eb := &s.pool[a], &s.pool[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
 	}
-	return nil
+	return ea.seq < eb.seq
+}
+
+func (s *Scheduler) heapPush(i int32) {
+	s.heap = append(s.heap, i)
+	pos := len(s.heap) - 1
+	s.pool[i].where = int32(pos)
+	s.siftUp(pos)
+}
+
+func (s *Scheduler) heapPopMin() int32 {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.pool[s.heap[0]].where = 0
+		s.siftDown(0)
+	}
+	return top
+}
+
+// heapRemoveAt removes the event at heap position pos (indexed cancel).
+func (s *Scheduler) heapRemoveAt(pos int) {
+	last := len(s.heap) - 1
+	s.heap[pos] = s.heap[last]
+	s.heap = s.heap[:last]
+	if pos < last {
+		s.pool[s.heap[pos]].where = int32(pos)
+		s.siftDown(pos)
+		s.siftUp(pos)
+	}
+}
+
+func (s *Scheduler) siftUp(pos int) {
+	i := s.heap[pos]
+	for pos > 0 {
+		parent := (pos - 1) >> 2
+		p := s.heap[parent]
+		if !s.less(i, p) {
+			break
+		}
+		s.heap[pos] = p
+		s.pool[p].where = int32(pos)
+		pos = parent
+	}
+	s.heap[pos] = i
+	s.pool[i].where = int32(pos)
+}
+
+func (s *Scheduler) siftDown(pos int) {
+	i := s.heap[pos]
+	n := len(s.heap)
+	for {
+		first := pos<<2 + 1 // first child
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(s.heap[c], s.heap[best]) {
+				best = c
+			}
+		}
+		b := s.heap[best]
+		if !s.less(b, i) {
+			break
+		}
+		s.heap[pos] = b
+		s.pool[b].where = int32(pos)
+		pos = best
+	}
+	s.heap[pos] = i
+	s.pool[i].where = int32(pos)
+}
+
+// --- same-instant FIFO fast lane ---
+
+func (s *Scheduler) lanePush(i int32) {
+	if s.laneLen == len(s.lane) {
+		newCap := len(s.lane) * 2
+		if newCap < 16 {
+			newCap = 16
+		}
+		nl := make([]int32, newCap)
+		for k := 0; k < s.laneLen; k++ {
+			nl[k] = s.lane[(s.laneHead+k)%len(s.lane)]
+		}
+		s.lane = nl
+		s.laneHead = 0
+	}
+	s.lane[(s.laneHead+s.laneLen)%len(s.lane)] = i
+	s.laneLen++
+}
+
+func (s *Scheduler) lanePop() int32 {
+	i := s.lane[s.laneHead]
+	s.laneHead = (s.laneHead + 1) % len(s.lane)
+	s.laneLen--
+	return i
 }

@@ -232,16 +232,16 @@ func traceSource(cfg Config) dataflow.SourceFunc {
 				lastUser = user
 				sessionLeft = rng.Intn(6)
 			}
-			ctx.Ingest(&netsim.Record{
-				Key:       user,
-				EventTime: now,
-				Size:      140,
-				Data: View{
-					User:     user,
-					Streamer: uint64(streamZipf.Next()) + 1,
-					Minutes:  5 + rng.Float64()*55,
-				},
-			})
+			r := ctx.NewRecord()
+			r.Key = user
+			r.EventTime = now
+			r.Size = 140
+			r.Data = View{
+				User:     user,
+				Streamer: uint64(streamZipf.Next()) + 1,
+				Minutes:  5 + rng.Float64()*55,
+			}
+			ctx.Ingest(r)
 			if now >= nextWM {
 				ctx.EmitWatermark(now)
 				nextWM = now.Add(simtime.Ms(100))

@@ -8,7 +8,6 @@ package workload
 import (
 	"drrs/internal/dataflow"
 	"drrs/internal/engine"
-	"drrs/internal/netsim"
 	"drrs/internal/simtime"
 )
 
@@ -124,13 +123,13 @@ func generator(cfg Config) dataflow.SourceFunc {
 				ctx.EmitWatermark(now)
 				return
 			}
-			ctx.Ingest(&netsim.Record{
-				// Key 0 is reserved; ranks shift by 1.
-				Key:       uint64(zipf.Next()) + 1,
-				EventTime: now,
-				Size:      100,
-				Data:      1.0,
-			})
+			r := ctx.NewRecord()
+			// Key 0 is reserved; ranks shift by 1.
+			r.Key = uint64(zipf.Next()) + 1
+			r.EventTime = now
+			r.Size = 100
+			r.Data = 1.0
+			ctx.Ingest(r)
 			if now >= nextWM {
 				ctx.EmitWatermark(now)
 				nextWM = now.Add(cfg.WatermarkEvery)
