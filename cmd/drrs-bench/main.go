@@ -1,15 +1,20 @@
 // Command drrs-bench regenerates the paper's evaluation figures and tables
-// on the simulated engine.
+// on the simulated engine, and runs the dynamic-scenario track beyond them.
 //
 // Usage:
 //
+//	drrs-bench -list
 //	drrs-bench -experiment all
 //	drrs-bench -experiment fig10 -workload q7
 //	drrs-bench -experiment fig15 -seeds 1
+//	drrs-bench -experiment multiwave -workload flash-crowd
+//	drrs-bench -experiment sweep -workload flash-crowd,diurnal -mechanisms drrs,meces
 //	drrs-bench -experiment all -parallel 8 -perf BENCH.json
 //
 // Experiments: fig2, fig10 (also emits Figs 11–13 from the same runs),
-// fig14, fig15, all. Workloads for fig10: q7, q8, twitch, all.
+// fig14, fig15, multiwave, sweep, ablation, all. -workload accepts any
+// registered scenario (see -list); fig10's default "all" covers the paper's
+// q7, q8, twitch; sweep's default "all" covers every registered scenario.
 //
 // Independent (workload, mechanism, seed) runs execute on a worker pool of
 // -parallel goroutines (default GOMAXPROCS; 1 forces sequential). Every
@@ -50,19 +55,48 @@ type perfRecord struct {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2 | fig10 | fig14 | fig15 | ablation | all")
-	workloadName := flag.String("workload", "all", "q7 | q8 | twitch | all (fig10 only)")
+	experiment := flag.String("experiment", "all", "fig2 | fig10 | fig14 | fig15 | multiwave | sweep | ablation | all")
+	workloadName := flag.String("workload", "all", "registered scenario name, comma list, or all (see -list)")
+	mechanisms := flag.String("mechanisms", "", "comma list of mechanisms for multiwave/sweep (default drrs,meces,megaphone)")
 	seeds := flag.Int("seeds", 3, "number of repeated runs per configuration")
 	baseSeed := flag.Int64("seed", 1, "base seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS, 1 = sequential)")
 	perfOut := flag.String("perf", "", "write a JSON perf record (wall time, events/sec per figure) to this file")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-16s %-8s %s\n", "scenario", "waves", "description")
+		for _, def := range bench.Definitions() {
+			sc := def.New(*baseSeed)
+			fmt.Printf("%-16s %-8s %s\n", def.Name, sc.ProgramString(), def.Description)
+		}
+		return
+	}
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "drrs-bench: -seeds must be >= 1 (got %d): every figure needs at least one run per configuration\n", *seeds)
+		os.Exit(2)
+	}
 
 	bench.Workers = *parallel
 
 	var seedList []int64
 	for i := 0; i < *seeds; i++ {
 		seedList = append(seedList, *baseSeed+int64(i))
+	}
+	mechList := splitList(*mechanisms)
+	for _, m := range mechList {
+		// Mechanisms panics on unknown names; surface that as a usage error
+		// instead of a stack trace from inside a worker goroutine.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					fmt.Fprintf(os.Stderr, "drrs-bench: %v\n", r)
+					os.Exit(2)
+				}
+			}()
+			bench.Mechanisms(m)
+		}()
 	}
 
 	workers := *parallel
@@ -114,7 +148,7 @@ func main() {
 	case "fig2":
 		run("fig2", func() bench.FigureResult { return bench.Fig2(seedList) })
 	case "fig10":
-		for _, wl := range workloads(*workloadName) {
+		for _, wl := range workloads(*workloadName, []string{"q7", "q8", "twitch"}) {
 			wl := wl
 			run(wl, func() bench.FigureResult { return bench.HeadToHead(wl, seedList) })
 		}
@@ -129,6 +163,15 @@ func main() {
 				nil)
 			return res
 		})
+	case "multiwave":
+		for _, wl := range workloads(*workloadName, []string{"flash-crowd", "diurnal", "twitch-rebound"}) {
+			wl := wl
+			run(wl, func() bench.FigureResult { return bench.MultiWave(wl, mechList, seedList) })
+		}
+	case "sweep":
+		run("sweep", func() bench.FigureResult {
+			return bench.Sweep(workloads(*workloadName, bench.ScenarioNames()), mechList, seedList)
+		})
 	case "ablation":
 		run("ablation", func() bench.FigureResult { return ablation(*baseSeed) })
 	case "all":
@@ -138,6 +181,7 @@ func main() {
 			run(wl, func() bench.FigureResult { return bench.HeadToHead(wl, seedList) })
 		}
 		run("fig14", func() bench.FigureResult { return bench.Fig14(seedList) })
+		run("multiwave", func() bench.FigureResult { return bench.MultiWave("flash-crowd", mechList, seedList) })
 		run("fig15", func() bench.FigureResult {
 			_, res := bench.Fig15(*baseSeed,
 				[]float64{6000, 10000, 12000},
@@ -164,9 +208,28 @@ func ablation(seed int64) bench.FigureResult {
 	return bench.FigureResult{Title: "ablation", Text: strings.Join(b, "\n")}
 }
 
-func workloads(name string) []string {
+// workloads resolves the -workload flag: "all" expands to def, anything else
+// splits on commas. An empty selection is a usage error, not a no-op — a
+// figure run that silently produces nothing would read as success in CI.
+func workloads(name string, def []string) []string {
 	if name == "all" {
-		return []string{"q7", "q8", "twitch"}
+		return def
 	}
-	return []string{name}
+	out := splitList(name)
+	if len(out) == 0 {
+		fmt.Fprintf(os.Stderr, "drrs-bench: -workload %q selects no scenarios\n", name)
+		os.Exit(2)
+	}
+	return out
+}
+
+// splitList splits a comma-separated flag, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

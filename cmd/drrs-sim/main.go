@@ -7,7 +7,11 @@
 //
 //	drrs-sim -workload twitch -mechanism drrs
 //	drrs-sim -workload q7 -mechanism megaphone -seed 7
+//	drrs-sim -workload flash-crowd -mechanism drrs
 //	drrs-sim -workload q8 -mechanism no-scale
+//
+// -workload accepts any registered scenario (drrs-bench -list enumerates
+// them); multi-wave scenarios print one report block per wave.
 //
 // Mechanisms: drrs, drrs-dr, drrs-schedule, drrs-subscale, meces, megaphone,
 // otfs, otfs-allatonce, unbound, no-scale.
@@ -20,11 +24,12 @@ import (
 	"time"
 
 	"drrs/internal/bench"
+	"drrs/internal/scaling"
 	"drrs/internal/simtime"
 )
 
 func main() {
-	workloadName := flag.String("workload", "twitch", "q7 | q8 | twitch")
+	workloadName := flag.String("workload", "twitch", "any registered scenario (see drrs-bench -list)")
 	mechName := flag.String("mechanism", "drrs", "scaling mechanism (see doc)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	verbose := flag.Bool("v", false, "print the post-run instance table")
@@ -38,22 +43,32 @@ func main() {
 	}()
 
 	sc := bench.ScenarioByName(*workloadName, *seed)
-	mech := bench.Mechanisms(*mechName)
 	t0 := time.Now()
-	o := sc.Run(mech)
+	// Fresh mechanism per wave: multi-wave scenarios rescale repeatedly, and
+	// mechanisms carry per-operation state.
+	o := sc.RunWith(func() scaling.Mechanism { return bench.Mechanisms(*mechName) })
 	wall := time.Since(t0)
 
 	fmt.Printf("workload   : %s (seed %d)\n", *workloadName, *seed)
 	fmt.Printf("mechanism  : %s\n", o.Mechanism)
 	fmt.Printf("virtual    : %v simulated in %v wall\n", simtime.Duration(o.EndAt), wall.Round(time.Millisecond))
 	if o.Mechanism != "no-scale" {
-		fmt.Printf("scaling    : requested at %v, completed=%v\n", o.ScaleAt, o.Done)
-		fmt.Printf("  duration : %v (migration), %v (latency re-stabilization)\n",
-			o.Scale.MigrationDuration(), o.ScalingPeriod())
-		fmt.Printf("  Lp prop  : %v cumulative propagation delay\n", o.Scale.CumulativePropagationDelay())
-		fmt.Printf("  Ls susp  : %v cumulative suspension\n", o.Scale.CumulativeSuspension())
-		fmt.Printf("  Ld dep   : %v average dependency overhead\n", o.Scale.AvgDependencyOverhead())
-		fmt.Printf("  migrated : %d key groups\n", o.Scale.UnitsMigrated())
+		fmt.Printf("scaling    : program %s, first request at %v, completed=%v\n",
+			sc.ProgramString(), o.ScaleAt, o.Done)
+		for i, w := range o.Waves {
+			if w.Scale == nil {
+				fmt.Printf("  wave %d   : →%d never launched (previous wave incomplete or past the horizon)\n",
+					i, w.Wave.NewParallelism)
+				continue
+			}
+			fmt.Printf("  wave %d   : %d→%d at %v\n", i, w.FromParallelism, w.Wave.NewParallelism, w.ScaleAt)
+			fmt.Printf("    duration : %v (migration), %v (latency re-stabilization)\n",
+				w.Scale.MigrationDuration(), w.ScalingPeriod())
+			fmt.Printf("    Lp prop  : %v cumulative propagation delay\n", w.Scale.CumulativePropagationDelay())
+			fmt.Printf("    Ls susp  : %v cumulative suspension\n", w.Scale.CumulativeSuspension())
+			fmt.Printf("    Ld dep   : %v average dependency overhead\n", w.Scale.AvgDependencyOverhead())
+			fmt.Printf("    migrated : %d key groups\n", w.Scale.UnitsMigrated())
+		}
 	}
 	fmt.Printf("latency    : pre-scale avg %.1fms\n", o.PreAvgMs)
 	if o.Mechanism != "no-scale" {

@@ -1,0 +1,45 @@
+// Multiwave example: the dynamic-scenario track beyond the paper's fixed
+// experiments. A flash crowd multiplies the custom job's load by 1.25× for
+// eight seconds; the scaling program rides it out with two waves — scale out
+// 8→12 as the crowd arrives, scale back 12→8 after it disperses. Each wave
+// runs under a fresh mechanism instance and is measured separately.
+package main
+
+import (
+	"fmt"
+
+	"drrs/internal/bench"
+	"drrs/internal/scaling"
+	"drrs/internal/simtime"
+)
+
+func main() {
+	sc := bench.FlashCrowdScenario(1)
+	fmt.Printf("Flash-crowd scenario — waves %s, warmup %v, measure %v\n\n",
+		sc.ProgramString(), sc.Warmup, sc.Measure)
+
+	for _, mech := range []string{"drrs", "meces", "megaphone"} {
+		mech := mech
+		o := sc.RunWith(func() scaling.Mechanism { return bench.Mechanisms(mech) })
+		fmt.Printf("%s  (peak %.1f ms, avg %.1f ms over the program)\n",
+			mech, o.PeakIn(o.ScaleAt, o.EndAt), o.AvgIn(o.ScaleAt, o.EndAt))
+		for i, w := range o.Waves {
+			if w.Scale == nil {
+				fmt.Printf("  wave %d →%d NEVER LAUNCHED\n", i, w.Wave.NewParallelism)
+				continue
+			}
+			status := "completed"
+			if !w.Done {
+				status = "NEVER COMPLETED"
+			}
+			fmt.Printf("  wave %d %d→%d at %v: %s, scaling period %v, migration %v, suspension %v\n",
+				i, w.FromParallelism, w.Wave.NewParallelism, w.ScaleAt, status,
+				w.ScalingPeriod(), w.Scale.MigrationDuration(), w.Scale.CumulativeSuspension())
+		}
+		fmt.Printf("  timeline %s\n\n", bench.Sparkline(o, simtime.Second, o.ScaleAt, o.EndAt))
+	}
+
+	fmt.Println("DRRS should complete both waves with the lowest peak latency and")
+	fmt.Println("suspension; Megaphone's sequential rounds stretch wave 0 across the")
+	fmt.Println("entire spike.")
+}

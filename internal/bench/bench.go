@@ -21,7 +21,8 @@ import (
 	"drrs/internal/simtime"
 )
 
-// Scenario describes one job + one scaling operation, mechanism-agnostic.
+// Scenario describes one job + a program of scaling waves,
+// mechanism-agnostic.
 type Scenario struct {
 	// Name labels reports.
 	Name string
@@ -29,12 +30,17 @@ type Scenario struct {
 	Build func(seed int64) (*dataflow.Graph, *engine.CollectSink)
 	// ScaleOp is the operator being rescaled.
 	ScaleOp string
-	// NewParallelism is the post-scaling parallelism.
+	// NewParallelism is the post-scaling parallelism of the classic
+	// single-wave program; ignored when Waves is set.
 	NewParallelism int
-	// Warmup is the steady-state period before the scaling request (the
-	// paper uses 300 s; scenarios scale it down).
+	// Waves is the scaling program: wave 0 fires at Warmup+Gap, each later
+	// wave Gap after the previous wave completes. Empty means the classic
+	// single wave to NewParallelism at Warmup.
+	Waves []Wave
+	// Warmup is the steady-state period before the first scaling request
+	// (the paper uses 300 s; scenarios scale it down).
 	Warmup simtime.Duration
-	// Measure is how long the run continues after the scaling request.
+	// Measure is how long the run continues after the first scaling request.
 	Measure simtime.Duration
 	// Setup models physical deployment time.
 	Setup simtime.Duration
@@ -50,28 +56,87 @@ type Scenario struct {
 	Seed int64
 }
 
+// Wave is one scaling operation in a scenario's program.
+type Wave struct {
+	// Gap delays the wave's scaling request: the first wave fires at
+	// Warmup+Gap, later waves Gap after the previous wave completes (waves
+	// never overlap — the paper's concurrent-request rule supersedes an
+	// in-flight operation, which is a different experiment).
+	Gap simtime.Duration
+	// NewParallelism is the wave's target parallelism for ScaleOp.
+	NewParallelism int
+}
+
+// Program returns the scenario's scaling waves (synthesizing the classic
+// single wave when Waves is empty).
+func (sc Scenario) Program() []Wave {
+	if len(sc.Waves) > 0 {
+		return sc.Waves
+	}
+	return []Wave{{NewParallelism: sc.NewParallelism}}
+}
+
+// ProgramString renders the wave targets for listings, e.g. "→12→8".
+func (sc Scenario) ProgramString() string {
+	s := ""
+	for _, w := range sc.Program() {
+		s += fmt.Sprintf("→%d", w.NewParallelism)
+	}
+	return s
+}
+
+// WaveOutcome is one wave's measurement within an Outcome.
+type WaveOutcome struct {
+	Wave Wave
+	// FromParallelism is the parallelism the wave scaled from.
+	FromParallelism int
+	ScaleAt         simtime.Time
+	Done            bool
+	DoneAt          simtime.Time
+	// Scale holds this wave's delay accounting (each wave gets a fresh
+	// collector, so Fig 12/13-style metrics stay per-wave).
+	Scale *metrics.ScalingMetrics
+	// PreAvgMs is the latency level the wave's stabilization is judged
+	// against.
+	PreAvgMs float64
+	// StabilizedAt is the end of this wave's scaling period per the paper's
+	// rule, searched only up to the next wave's request.
+	StabilizedAt simtime.Time
+	Stabilized   bool
+}
+
+// ScalingPeriod reports the wave's request-to-restabilization span.
+func (w WaveOutcome) ScalingPeriod() simtime.Duration { return w.StabilizedAt.Sub(w.ScaleAt) }
+
 // Outcome is everything measured from one run.
 type Outcome struct {
 	Mechanism string
-	// MechRef is the mechanism instance used (for mechanism-specific stats
-	// like Meces fetch counts).
+	// MechRef is the first wave's mechanism instance (for mechanism-specific
+	// stats like Meces fetch counts).
 	MechRef scaling.Mechanism
 	Seed    int64
-	Done    bool
+	// Done reports whether every wave completed.
+	Done bool
 
+	// ScaleAt is the first wave's request instant.
 	ScaleAt    simtime.Time
 	EndAt      simtime.Time
 	Latency    *metrics.LatencyTracker
 	Throughput *metrics.ThroughputTracker
-	Scale      *metrics.ScalingMetrics
+	// Scale is the first wave's delay accounting (the only wave in the
+	// paper's single-wave experiments); later waves live in Waves.
+	Scale *metrics.ScalingMetrics
+	// Waves holds per-wave measurements (nil for no-scale runs).
+	Waves []WaveOutcome
 	// Events is the number of scheduler events the run fired — the raw
 	// simulation work, used for events/second perf accounting.
 	Events uint64
 
 	// PreAvgMs is the average latency over the warmup (pre-scaling level).
 	PreAvgMs float64
-	// StabilizedAt is the end of the scaling period per the paper's rule
-	// (latency within 110% of the pre-scaling level for the hold window).
+	// StabilizedAt is the last wave's re-stabilization instant per the
+	// paper's rule (latency within 110% of the pre-scaling level for the
+	// hold window).
 	StabilizedAt simtime.Time
 	Stabilized   bool
 }
@@ -80,10 +145,25 @@ type Outcome struct {
 const StabilityHold = simtime.Duration(5 * simtime.Second)
 
 // Run executes the scenario under mech (nil = no scaling) and returns the
-// outcome after draining the pipeline. The scenario's Build must bound its
-// generators to Warmup+Measure (HorizonOf helps), or the drain would never
-// terminate.
+// outcome after draining the pipeline. Mechanisms carry per-operation state,
+// so a single instance can only drive one wave: multi-wave scenarios must go
+// through RunWith, which builds a fresh mechanism per wave.
 func (sc Scenario) Run(mech scaling.Mechanism) Outcome {
+	used := false
+	return sc.RunWith(func() scaling.Mechanism {
+		if used {
+			panic(fmt.Sprintf("bench: scenario %q programs %d waves; Run cannot reuse one mechanism instance — use RunWith with a factory",
+				sc.Name, len(sc.Program())))
+		}
+		used = true
+		return mech
+	})
+}
+
+// RunWith executes the scenario's wave program, calling newMech once per
+// wave (nil = no scaling). The scenario's Build must bound its generators to
+// Warmup+Measure (HorizonOf helps), or the drain would never terminate.
+func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 	g, _ := sc.Build(sc.Seed)
 	s := simtime.NewScheduler()
 	var cl *cluster.Cluster
@@ -102,17 +182,69 @@ func (sc Scenario) Run(mech scaling.Mechanism) Outcome {
 	rt := engine.New(s, g, cl, cfg)
 	rt.Start()
 
-	out := Outcome{Mechanism: "no-scale", MechRef: mech, Seed: sc.Seed, Done: true}
-	if mech != nil {
-		out.Mechanism = mech.Name()
+	first := newMech()
+	out := Outcome{Mechanism: "no-scale", MechRef: first, Seed: sc.Seed, Done: true}
+	waves := sc.Program()
+	horizon := simtime.Time(sc.Warmup + sc.Measure)
+	if first != nil {
+		out.Mechanism = first.Name()
 		out.Done = false
-		s.After(sc.Warmup, func() {
-			out.ScaleAt = s.Now()
-			plan := scaling.UniformPlan(g, sc.ScaleOp, sc.NewParallelism, sc.Setup)
-			mech.Start(rt, plan, func() { out.Done = true })
-		})
+		out.Waves = make([]WaveOutcome, len(waves))
+		for i := range out.Waves {
+			// Pre-fill the program so never-launched waves still report
+			// their target.
+			out.Waves[i].Wave = waves[i]
+		}
+		var launch func(i int, mech scaling.Mechanism)
+		launch = func(i int, mech scaling.Mechanism) {
+			if mech == nil {
+				return
+			}
+			if s.Now() > horizon {
+				// The gap chain outran the measured run: the pipeline is
+				// draining with no generators or markers, so numbers
+				// measured now would describe an idle system. The wave
+				// stays un-launched (Done=false, Scale=nil).
+				return
+			}
+			w := waves[i]
+			wo := &out.Waves[i]
+			wo.ScaleAt = s.Now()
+			var plan scaling.Plan
+			if i == 0 {
+				// The first wave scales from the nominal contiguous layout.
+				plan = scaling.UniformPlan(g, sc.ScaleOp, w.NewParallelism, sc.Setup)
+				wo.Scale = rt.Scale
+			} else {
+				// Later waves plan from the actual placement the previous
+				// wave left behind, and collect into a fresh per-wave
+				// metrics object. Suspensions spanning the boundary split
+				// there: the tail before it is credited to the wave that
+				// caused it, and the interval re-opens on the new collector
+				// so the remainder lands in this wave.
+				plan = scaling.PlanFromPlacement(rt, sc.ScaleOp, w.NewParallelism, sc.Setup)
+				stillOpen := rt.Scale.CloseAllSuspensions(s.Now())
+				wo.Scale = metrics.NewScalingMetrics()
+				rt.Scale = wo.Scale
+				for _, name := range stillOpen {
+					wo.Scale.SuspendBegin(name, s.Now())
+				}
+			}
+			wo.FromParallelism = plan.OldParallelism
+			if i > 0 {
+				wo.FromParallelism = waves[i-1].NewParallelism
+			}
+			mech.Start(rt, plan, func() {
+				wo.Done = true
+				wo.DoneAt = s.Now()
+				if i+1 < len(waves) {
+					s.After(waves[i+1].Gap, func() { launch(i+1, newMech()) })
+				}
+			})
+		}
+		s.After(sc.Warmup+waves[0].Gap, func() { launch(0, first) })
 	}
-	s.RunUntil(simtime.Time(sc.Warmup + sc.Measure))
+	s.RunUntil(horizon)
 	rt.StopMarkers()
 	s.Run()
 
@@ -122,22 +254,76 @@ func (sc Scenario) Run(mech scaling.Mechanism) Outcome {
 	out.Latency = rt.Latency
 	out.Throughput = rt.Throughput
 	out.Scale = rt.Scale
-	out.Scale.CloseAllSuspensions(s.Now())
+	rt.Scale.CloseAllSuspensions(s.Now())
 	out.PreAvgMs = rt.Latency.AvgIn(0, simtime.Time(sc.Warmup))
-	if mech != nil {
-		out.StabilizedAt, out.Stabilized = rt.Latency.StabilizesSmoothed(
-			simtime.Second, out.ScaleAt, out.PreAvgMs, 1.10, StabilityHold)
+	if first != nil {
+		if out.Waves[0].Scale != nil {
+			out.Scale = out.Waves[0].Scale
+			out.ScaleAt = out.Waves[0].ScaleAt
+		}
+		out.Done = true
+		for i := range out.Waves {
+			out.Done = out.Done && out.Waves[i].Done
+		}
+		stabilizeWaves(rt.Latency, out.Waves, out.PreAvgMs)
+		last := &out.Waves[len(out.Waves)-1]
+		out.StabilizedAt, out.Stabilized = last.StabilizedAt, last.Stabilized
 	}
 	return out
 }
 
+// stabilizeWaves applies the paper's scaling-period rule per wave on the
+// smoothed latency curve: every wave is judged against pre, the warmup
+// steady level (the run's pre-scaling level — judging a scale-back against
+// the post-scale-out minimum would declare it unstable forever), searching
+// from its request up to the next wave's request (or series end for the
+// last wave).
+func stabilizeWaves(lat *metrics.LatencyTracker, waves []WaveOutcome, pre float64) {
+	smoothed := lat.Series.Downsample(simtime.Second)
+	for i := range waves {
+		wo := &waves[i]
+		if wo.Scale == nil {
+			// The wave never launched (a previous wave never completed, or
+			// the gap chain ran past the horizon).
+			continue
+		}
+		wo.PreAvgMs = pre
+		pts := smoothed
+		if i+1 < len(waves) && waves[i+1].ScaleAt > 0 {
+			bound := waves[i+1].ScaleAt
+			hi := len(pts)
+			for hi > 0 && pts[hi-1].At >= bound {
+				hi--
+			}
+			pts = pts[:hi]
+		}
+		wo.StabilizedAt, wo.Stabilized = metrics.StabilizesOn(
+			pts, wo.ScaleAt, wo.PreAvgMs, 1.10, StabilityHold)
+	}
+}
+
 // ScalingPeriod reports the paper's scaling period: request until latency
-// re-stabilization.
+// re-stabilization. For multi-wave programs this is the first wave's span;
+// per-wave periods live in Waves.
 func (o Outcome) ScalingPeriod() simtime.Duration {
 	if o.Mechanism == "no-scale" {
 		return 0
 	}
+	if len(o.Waves) > 0 {
+		return o.Waves[0].ScalingPeriod()
+	}
 	return o.StabilizedAt.Sub(o.ScaleAt)
+}
+
+// TotalSuspension sums suspension time across all waves.
+func (o Outcome) TotalSuspension() simtime.Duration {
+	var sum simtime.Duration
+	for i := range o.Waves {
+		if o.Waves[i].Scale != nil {
+			sum += o.Waves[i].Scale.CumulativeSuspension()
+		}
+	}
+	return sum
 }
 
 // PeakIn / AvgIn report latency stats over [from, to) in ms.

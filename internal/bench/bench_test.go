@@ -52,10 +52,35 @@ func TestMechanismsRegistry(t *testing.T) {
 }
 
 func TestScenarioRegistry(t *testing.T) {
-	for _, name := range []string{"q7", "q8", "twitch"} {
+	names := ScenarioNames()
+	if len(names) < 6 {
+		t.Fatalf("registry has %d scenarios, want ≥6: %v", len(names), names)
+	}
+	for _, want := range []string{"q7", "q8", "twitch", "flash-crowd", "diurnal", "hotshift"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("scenario %q not registered (have %v)", want, names)
+		}
+	}
+	multiWave := 0
+	for _, name := range names {
 		sc := ScenarioByName(name, 7)
 		if sc.Name != name || sc.Seed != 7 || sc.ScaleOp == "" {
 			t.Fatalf("scenario %s malformed: %+v", name, sc)
+		}
+		if len(sc.Program()) == 0 {
+			t.Fatalf("scenario %s has an empty wave program", name)
+		}
+		if len(sc.Program()) > 1 {
+			multiWave++
+		}
+		for _, w := range sc.Program() {
+			if w.NewParallelism <= 0 {
+				t.Fatalf("scenario %s wave targets parallelism %d", name, w.NewParallelism)
+			}
 		}
 		g, _ := sc.Build(7)
 		if err := g.Validate(); err != nil {
@@ -65,12 +90,73 @@ func TestScenarioRegistry(t *testing.T) {
 			t.Fatalf("scenario %s scale operator %s not keyed", name, sc.ScaleOp)
 		}
 	}
+	if multiWave == 0 {
+		t.Fatal("registry should contain at least one multi-wave scenario")
+	}
+	if len(Definitions()) != len(names) {
+		t.Fatalf("Definitions/ScenarioNames disagree: %d vs %d", len(Definitions()), len(names))
+	}
+	for _, def := range Definitions() {
+		if def.Description == "" {
+			t.Fatalf("scenario %s has no description for -list", def.Name)
+		}
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("unknown workload should panic")
 		}
 	}()
 	ScenarioByName("bogus", 1)
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	Register(Definition{Name: "q7", Description: "dup", New: Q7Scenario})
+}
+
+// TestFigureSeedValidation guards the empty-seed-list fix: figure harnesses
+// must refuse an empty list up front with a message naming the problem,
+// instead of panicking on outs[mech][0] deep inside rendering.
+func TestFigureSeedValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"HeadToHead": func() { HeadToHead("twitch", nil) },
+		"Fig2":       func() { Fig2(nil) },
+		"Fig14":      func() { Fig14([]int64{}) },
+		"MultiWave":  func() { MultiWave("flash-crowd", nil, nil) },
+		"Sweep":      func() { Sweep(nil, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s accepted an empty seed list", name)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "seed") {
+					t.Fatalf("%s panic %v does not name the seed problem", name, r)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestRunRefusesMechanismReuseAcrossWaves documents why multi-wave scenarios
+// need RunWith: mechanisms carry per-operation state, so Run's single
+// instance cannot drive a second wave.
+func TestRunRefusesMechanismReuseAcrossWaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full flash-crowd first wave before hitting the panic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run should refuse to reuse one mechanism across waves")
+		}
+	}()
+	FlashCrowdScenario(1).Run(Mechanisms("drrs"))
 }
 
 func TestSensitivityScenarioPlacement(t *testing.T) {

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 
 	"drrs/internal/metrics"
+	"drrs/internal/scaling"
 )
 
 // requireSameOutcome asserts bit-for-bit equality of everything a run
@@ -30,6 +32,26 @@ func requireSameOutcome(t *testing.T, label string, a, b Outcome) {
 		}
 	}
 	requireSameSeries(t, label+"/throughput", a.Throughput.Series(), b.Throughput.Series())
+	if len(a.Waves) != len(b.Waves) {
+		t.Fatalf("%s: wave count %d vs %d", label, len(a.Waves), len(b.Waves))
+	}
+	for i := range a.Waves {
+		wa, wb := a.Waves[i], b.Waves[i]
+		if wa.ScaleAt != wb.ScaleAt || wa.DoneAt != wb.DoneAt || wa.Done != wb.Done ||
+			wa.StabilizedAt != wb.StabilizedAt || wa.Stabilized != wb.Stabilized {
+			t.Fatalf("%s: wave %d timeline differs: %+v vs %+v", label, i, wa, wb)
+		}
+		if wa.Scale.CumulativeSuspension() != wb.Scale.CumulativeSuspension() ||
+			wa.Scale.CumulativePropagationDelay() != wb.Scale.CumulativePropagationDelay() ||
+			wa.Scale.AvgDependencyOverhead() != wb.Scale.AvgDependencyOverhead() ||
+			wa.Scale.MigrationDuration() != wb.Scale.MigrationDuration() ||
+			wa.Scale.UnitsMigrated() != wb.Scale.UnitsMigrated() {
+			t.Fatalf("%s: wave %d scaling metrics differ: %s vs %s",
+				label, i, wa.Scale.Summary(), wb.Scale.Summary())
+		}
+		requireSameSeries(t, fmt.Sprintf("%s/wave%d/suspension", label, i),
+			wa.Scale.SuspensionCurve(), wb.Scale.SuspensionCurve())
+	}
 }
 
 func requireSameSeries(t *testing.T, label string, a, b *metrics.Series) {
@@ -65,6 +87,42 @@ func TestTwitchScenarioDeterminism(t *testing.T) {
 	na := TwitchScenario(seed).Run(nil)
 	nb := TwitchScenario(seed).Run(nil)
 	requireSameOutcome(t, "twitch/no-scale", na, nb)
+}
+
+// TestFlashCrowdMultiWaveDeterminism extends the bit-for-bit guard to the
+// dynamic-scenario track: a shaped workload (flash-crowd spike) driving a
+// two-wave program (scale-out 8→12, then scale-back 12→8 planned from the
+// actual placement) must reproduce the same run exactly — including each
+// wave's own scaling-metrics collector and suspension curve.
+func TestFlashCrowdMultiWaveDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-wave determinism test simulates ~90 virtual seconds")
+	}
+	runOnce := func() Outcome {
+		return FlashCrowdScenario(11).RunWith(func() scaling.Mechanism { return Mechanisms("drrs") })
+	}
+	a := runOnce()
+	b := runOnce()
+	if !a.Done || !b.Done {
+		t.Fatal("wave program never completed")
+	}
+	if len(a.Waves) != 2 {
+		t.Fatalf("expected 2 waves, got %d", len(a.Waves))
+	}
+	if a.Waves[0].FromParallelism != 8 || a.Waves[0].Wave.NewParallelism != 12 ||
+		a.Waves[1].FromParallelism != 12 || a.Waves[1].Wave.NewParallelism != 8 {
+		t.Fatalf("wave program mismatch: %+v", a.Waves)
+	}
+	if a.Waves[1].ScaleAt <= a.Waves[0].DoneAt {
+		t.Fatal("wave 1 must start after wave 0 completes")
+	}
+	if a.Waves[0].Scale == a.Waves[1].Scale {
+		t.Fatal("waves must collect into separate metrics objects")
+	}
+	if a.Waves[1].Scale.UnitsMigrated() == 0 {
+		t.Fatal("scale-back wave migrated nothing")
+	}
+	requireSameOutcome(t, "flash-crowd/drrs", a, b)
 }
 
 // TestRunParallelMatchesSequential guards the parallel scenario runner: the

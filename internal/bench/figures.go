@@ -45,17 +45,12 @@ func Mechanisms(name string) scaling.Mechanism {
 	}
 }
 
-// ScenarioByName builds a named main-track scenario.
-func ScenarioByName(name string, seed int64) Scenario {
-	switch name {
-	case "q7":
-		return Q7Scenario(seed)
-	case "q8":
-		return Q8Scenario(seed)
-	case "twitch":
-		return TwitchScenario(seed)
-	default:
-		panic(fmt.Sprintf("bench: unknown workload %q", name))
+// mustSeeds validates the seed list up front: every figure indexes
+// outs[mech][0] for its timeline printers, so an empty list would otherwise
+// panic deep inside rendering with an opaque out-of-range error.
+func mustSeeds(figure string, seeds []int64) {
+	if len(seeds) == 0 {
+		panic(fmt.Sprintf("bench: %s needs at least one seed (got an empty seed list)", figure))
 	}
 }
 
@@ -165,6 +160,7 @@ func sortedKeys(rows map[string]Row) []string {
 // on-the-fly scaling with fluid migration) vs No Scale on the Twitch
 // workload under a fixed input rate.
 func Fig2(seeds []int64) FigureResult {
+	mustSeeds("Fig2", seeds)
 	outs := compare(TwitchScenario, []string{"unbound", "otfs", "no-scale"}, seeds)
 	from, to := measureWindow(outs)
 	var b strings.Builder
@@ -188,6 +184,7 @@ func Fig2(seeds []int64) FigureResult {
 // twitch) against Meces and Megaphone, producing all four figures' data from
 // the same runs, as the paper does.
 func HeadToHead(workloadName string, seeds []int64) FigureResult {
+	mustSeeds("HeadToHead", seeds)
 	outs := compare(func(seed int64) Scenario { return ScenarioByName(workloadName, seed) },
 		[]string{"drrs", "meces", "megaphone"}, seeds)
 	rows := rowsFrom(outs)
@@ -202,12 +199,18 @@ func HeadToHead(workloadName string, seeds []int64) FigureResult {
 	}
 	b.WriteString("\nlatency timelines (1 s means):\n")
 	for _, mech := range []string{"drrs", "meces", "megaphone"} {
+		if len(outs[mech]) == 0 {
+			continue
+		}
 		fmt.Fprintf(&b, "%-10s %s\n", mech, Sparkline(outs[mech][0], simtime.Second, from, to))
 	}
 	b.WriteString("\n")
 
 	fmt.Fprintf(&b, "Fig 11 (%s) — Throughput (records/s) timeline (1 s buckets, during scaling)\n", workloadName)
 	for _, mech := range []string{"drrs", "meces", "megaphone"} {
+		if len(outs[mech]) == 0 {
+			continue
+		}
 		o := outs[mech][0]
 		pts := o.Throughput.Series().Slice(from, to)
 		fmt.Fprintf(&b, "%-10s", mech)
@@ -249,6 +252,7 @@ func HeadToHead(workloadName string, seeds []int64) FigureResult {
 // Fig14 regenerates the ablation: full DRRS vs DR-only vs Schedule-only vs
 // Subscale-only on the Twitch workload.
 func Fig14(seeds []int64) FigureResult {
+	mustSeeds("Fig14", seeds)
 	outs := compare(TwitchScenario,
 		[]string{"drrs", "drrs-dr", "drrs-schedule", "drrs-subscale"}, seeds)
 	rows := rowsFrom(outs)
@@ -261,6 +265,142 @@ func Fig14(seeds []int64) FigureResult {
 		fmt.Fprintf(&b, "%-15s %20s %20s\n", mech, r.PeakMs, r.AvgMs)
 	}
 	return FigureResult{Title: "fig14", Text: b.String(), Rows: rows}
+}
+
+// MultiWave regenerates the multi-wave track for one registered scenario:
+// every mechanism runs the scenario's full wave program (e.g. scale-out then
+// scale-back), and the table reports each wave's scaling period, migration
+// duration, suspension, and propagation delay separately — the per-wave
+// decomposition single-wave figures cannot show.
+func MultiWave(workloadName string, mechs []string, seeds []int64) FigureResult {
+	mustSeeds("MultiWave", seeds)
+	if len(mechs) == 0 {
+		mechs = []string{"drrs", "meces", "megaphone"}
+	}
+	sc := ScenarioByName(workloadName, 0)
+	outs := compare(func(seed int64) Scenario { return ScenarioByName(workloadName, seed) }, mechs, seeds)
+	from, to := measureWindow(outs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-wave (%s, waves %s) — per-wave scaling metrics, window [%v, %v]\n",
+		workloadName, sc.ProgramString(), from, to)
+	fmt.Fprintf(&b, "%-16s %20s %20s\n", "", "Peak(ms)", "Average(ms)")
+	rows := make(map[string]Row)
+	for _, mech := range mechs {
+		var peak, avg []float64
+		for _, o := range outs[mech] {
+			peak = append(peak, o.PeakIn(from, to))
+			avg = append(avg, o.AvgIn(from, to))
+		}
+		r := Row{PeakMs: NewStat(peak), AvgMs: NewStat(avg)}
+		rows[mech] = r
+		fmt.Fprintf(&b, "%-16s %20s %20s\n", mech, r.PeakMs, r.AvgMs)
+	}
+	waves := len(sc.Program())
+	for w := 0; w < waves; w++ {
+		target := sc.Program()[w].NewParallelism
+		fmt.Fprintf(&b, "\nwave %d (→%d instances):\n", w, target)
+		fmt.Fprintf(&b, "%-16s %16s %16s %16s %16s %10s\n",
+			"", "Scaling(s)", "Migration(s)", "Susp(ms)", "Prop(ms)", "done")
+		for _, mech := range mechs {
+			var dur, mig, susp, prop []float64
+			done := 0
+			for _, o := range outs[mech] {
+				if w >= len(o.Waves) || o.Waves[w].Scale == nil {
+					continue
+				}
+				wo := o.Waves[w]
+				dur = append(dur, wo.ScalingPeriod().Seconds())
+				mig = append(mig, wo.Scale.MigrationDuration().Seconds())
+				susp = append(susp, wo.Scale.CumulativeSuspension().Millis())
+				prop = append(prop, wo.Scale.CumulativePropagationDelay().Millis())
+				if wo.Done {
+					done++
+				}
+			}
+			r := Row{
+				ScalingSec:   NewStat(dur),
+				MigrationSec: NewStat(mig),
+				SuspensionMs: NewStat(susp),
+				PropDelayMs:  NewStat(prop),
+			}
+			rows[fmt.Sprintf("%s@w%d", mech, w)] = r
+			fmt.Fprintf(&b, "%-16s %16s %16s %16s %16s %6d/%d\n",
+				mech, r.ScalingSec, r.MigrationSec, r.SuspensionMs, r.PropDelayMs,
+				done, len(outs[mech]))
+		}
+	}
+	b.WriteString("\nlatency timelines (1 s means):\n")
+	for _, mech := range mechs {
+		if len(outs[mech]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %s\n", mech, Sparkline(outs[mech][0], simtime.Second, from, to))
+	}
+	return FigureResult{Title: "multiwave/" + workloadName, Text: b.String(), Rows: rows}
+}
+
+// Sweep fans every (scenario × mechanism × seed) combination out across the
+// worker pool and reports one aggregated row per (scenario, mechanism) pair —
+// the bulk comparison harness for registered scenarios beyond the paper's
+// fixed figure set.
+func Sweep(scenarioNames []string, mechs []string, seeds []int64) FigureResult {
+	mustSeeds("Sweep", seeds)
+	if len(scenarioNames) == 0 {
+		scenarioNames = ScenarioNames()
+	}
+	if len(mechs) == 0 {
+		mechs = []string{"drrs", "meces", "megaphone"}
+	}
+	var specs []RunSpec
+	type cell struct{ scenario, mech string }
+	var cells []cell
+	for _, scn := range scenarioNames {
+		for _, mech := range mechs {
+			for _, seed := range seeds {
+				specs = append(specs, RunSpec{Scenario: ScenarioByName(scn, seed), Mechanism: mech})
+				cells = append(cells, cell{scenario: scn, mech: mech})
+			}
+		}
+	}
+	results := RunParallel(specs, Workers)
+	byCell := make(map[cell][]Outcome)
+	for i, c := range cells {
+		byCell[c] = append(byCell[c], results[i])
+	}
+
+	var b strings.Builder
+	b.WriteString("Scenario sweep — per (scenario, mechanism) aggregates across seeds\n")
+	fmt.Fprintf(&b, "%-16s %-12s %16s %16s %16s %16s %6s\n",
+		"scenario", "mechanism", "Peak(ms)", "Average(ms)", "Scaling(s)", "Susp(ms)", "done")
+	rows := make(map[string]Row)
+	for _, scn := range scenarioNames {
+		for _, mech := range mechs {
+			runs := byCell[cell{scenario: scn, mech: mech}]
+			var peak, avg, dur, susp []float64
+			done := 0
+			for _, o := range runs {
+				from, to := o.ScaleAt, o.EndAt
+				peak = append(peak, o.PeakIn(from, to))
+				avg = append(avg, o.AvgIn(from, to))
+				dur = append(dur, o.ScalingPeriod().Seconds())
+				susp = append(susp, o.TotalSuspension().Millis())
+				if o.Done {
+					done++
+				}
+			}
+			r := Row{
+				PeakMs:       NewStat(peak),
+				AvgMs:        NewStat(avg),
+				ScalingSec:   NewStat(dur),
+				SuspensionMs: NewStat(susp),
+			}
+			rows[scn+"/"+mech] = r
+			fmt.Fprintf(&b, "%-16s %-12s %16s %16s %16s %16s %4d/%d\n",
+				scn, mech, r.PeakMs, r.AvgMs, r.ScalingSec, r.SuspensionMs, done, len(runs))
+		}
+	}
+	return FigureResult{Title: "sweep", Text: b.String(), Rows: rows}
 }
 
 // SensitivityPoint is one cell of the Fig 15 grid.

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"drrs/internal/scaling"
 )
 
 // Workers is the scenario-runner worker count used by the figure harnesses:
@@ -22,11 +24,17 @@ var Workers int
 var EventsSimulated atomic.Uint64
 
 // RunSpec names one independent (scenario, mechanism) run for RunParallel.
-// The mechanism is constructed inside the worker (mechanisms carry per-run
-// state, so a shared instance would race).
+// The mechanism is constructed inside the worker, fresh per scaling wave
+// (mechanisms carry per-operation state, so a shared instance would race —
+// and could not drive a second wave).
 type RunSpec struct {
 	Scenario  Scenario
 	Mechanism string
+}
+
+// run executes one spec with a fresh mechanism per wave.
+func (sp RunSpec) run() Outcome {
+	return sp.Scenario.RunWith(func() scaling.Mechanism { return Mechanisms(sp.Mechanism) })
 }
 
 // RunParallel executes specs across a worker pool and returns outcomes in
@@ -41,7 +49,7 @@ func RunParallel(specs []RunSpec, workers int) []Outcome {
 	out := make([]Outcome, len(specs))
 	if workers <= 1 {
 		for i, sp := range specs {
-			out[i] = sp.Scenario.Run(Mechanisms(sp.Mechanism))
+			out[i] = sp.run()
 		}
 		return out
 	}
@@ -56,7 +64,7 @@ func RunParallel(specs []RunSpec, workers int) []Outcome {
 				if i >= len(specs) {
 					return
 				}
-				out[i] = specs[i].Scenario.Run(Mechanisms(specs[i].Mechanism))
+				out[i] = specs[i].run()
 			}
 		}()
 	}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Definition is one registered scenario: a name, a one-line description for
+// listings, and a constructor. Registering a scenario is all it takes to make
+// it reachable from drrs-bench (-list, -workload, sweeps) and the figure
+// harnesses.
+type Definition struct {
+	Name        string
+	Description string
+	New         func(seed int64) Scenario
+}
+
+// registry is populated from init functions (scenarios.go) and read-only
+// afterwards, so the parallel runners need no locking.
+var (
+	registry = map[string]Definition{}
+	regOrder []string
+)
+
+// Register adds a scenario definition. It panics on duplicates or malformed
+// definitions — both are programming errors caught at init time.
+func Register(def Definition) {
+	if def.Name == "" || def.New == nil {
+		panic("bench: Register needs a name and a constructor")
+	}
+	if _, dup := registry[def.Name]; dup {
+		panic(fmt.Sprintf("bench: duplicate scenario %q", def.Name))
+	}
+	registry[def.Name] = def
+	regOrder = append(regOrder, def.Name)
+}
+
+// Definitions returns all registered scenarios in registration order.
+func Definitions() []Definition {
+	out := make([]Definition, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// ScenarioNames returns the registered names in registration order.
+func ScenarioNames() []string { return append([]string(nil), regOrder...) }
+
+// ScenarioByName builds a registered scenario for the seed. Unknown names
+// panic with the full list of known ones, since they indicate a harness
+// misconfiguration the caller should have validated.
+func ScenarioByName(name string, seed int64) Scenario {
+	def, ok := registry[name]
+	if !ok {
+		known := ScenarioNames()
+		sort.Strings(known)
+		panic(fmt.Sprintf("bench: unknown workload %q (known: %s)", name, strings.Join(known, ", ")))
+	}
+	return def.New(seed)
+}

@@ -27,6 +27,38 @@ const (
 	mainHorizon = mainWarmup + mainMeasure
 )
 
+// The registry makes every scenario reachable by name from drrs-bench
+// (-list, -workload, sweeps); adding a workload is one Register call plus a
+// constructor. EXPERIMENTS.md documents each scenario's down-scaling.
+func init() {
+	Register(Definition{Name: "q7",
+		Description: "NEXMark Q7 sliding-window max: high rate, short window (Figs 10–13)",
+		New:         Q7Scenario})
+	Register(Definition{Name: "q8",
+		Description: "NEXMark Q8 person⋈auction join: low rate, the largest state (Figs 10–13)",
+		New:         Q8Scenario})
+	Register(Definition{Name: "twitch",
+		Description: "seven-operator Twitch loyalty pipeline (Figs 2, 10–14)",
+		New:         TwitchScenario})
+	Register(Definition{Name: "sensitivity",
+		Description: "Fig 15 custom job at the grid midpoint (8K tps, 15 MB, skew 0.5, 4-node cluster)",
+		New: func(seed int64) Scenario {
+			return SensitivityScenario(seed, 8000, 15<<20, 0.5)
+		}})
+	Register(Definition{Name: "flash-crowd",
+		Description: "custom job under a 1.25× load spike: scale out into the spike, back after it",
+		New:         FlashCrowdScenario})
+	Register(Definition{Name: "diurnal",
+		Description: "custom job under a compressed day/night ramp with an out-then-back program",
+		New:         DiurnalScenario})
+	Register(Definition{Name: "hotshift",
+		Description: "custom job whose Zipf hot set drifts through the key space during scaling",
+		New:         HotShiftScenario})
+	Register(Definition{Name: "twitch-rebound",
+		Description: "Twitch pipeline scaling 8→12 and back 12→8 once the crowd disperses",
+		New:         TwitchReboundScenario})
+}
+
 // Q7Scenario reproduces the NEXMark Q7 setup: high input rate, short
 // sliding window (paper: 20K tps, 10 s/500 ms, ~800 MB state).
 func Q7Scenario(seed int64) Scenario {
@@ -119,6 +151,92 @@ func TwitchScenario(seed int64) Scenario {
 		Setup:          simtime.Ms(200),
 		Seed:           seed,
 	}
+}
+
+// The dynamic-shape track: the paper's custom job (Section V-A) under
+// phase-programmable load instead of a fixed rate, exercising multi-wave
+// scaling programs. Same scaled-down envelope as the main track: 128 key
+// groups, 8 initial instances at ~0.75 utilization, ~8 MB of keyed state,
+// 4 MB/s migration bandwidth.
+const (
+	shapeWarmup  = simtime.Duration(10 * simtime.Second)
+	shapeMeasure = simtime.Duration(35 * simtime.Second)
+	shapeHorizon = shapeWarmup + shapeMeasure
+)
+
+// shapedScenario builds one dynamic-shape scenario over the custom job.
+func shapedScenario(name string, skew float64, shape workload.Shape, waves []Wave, seed int64) Scenario {
+	return Scenario{
+		Name: name,
+		Build: func(seed int64) (*dataflow.Graph, *engine.CollectSink) {
+			return workload.Build(workload.Config{
+				SourceParallelism: 2,
+				AggParallelism:    8,
+				MaxKeyGroups:      128,
+				Keys:              8000,
+				RatePerSec:        2000, // ×2 sources = 4K tps baseline, util ≈ 0.75
+				Skew:              skew,
+				StateBytesPerKey:  1024,
+				// 4K tps over 8 instances at 1.5 ms/record ≈ 0.75 utilization,
+				// leaving headroom the shapes deliberately eat into.
+				CostPerRecord: 1500 * simtime.Microsecond,
+				Shape:         shape,
+				Duration:      shapeHorizon,
+				Seed:          seed,
+			})
+		},
+		ScaleOp: "agg",
+		Waves:   waves,
+		Warmup:  shapeWarmup,
+		Measure: shapeMeasure,
+		Setup:   simtime.Ms(200),
+		Seed:    seed,
+	}
+}
+
+// FlashCrowdScenario is the multi-wave flagship: a flash crowd multiplies
+// load by 1.25× for 8 s right as the warmup ends; the program scales out
+// 8→12 into the spike and back 12→8 once it disperses.
+func FlashCrowdScenario(seed int64) Scenario {
+	return shapedScenario("flash-crowd", 0.8,
+		workload.FlashCrowd(shapeWarmup, simtime.Sec(8), 1.25),
+		[]Wave{
+			{NewParallelism: 12},
+			{Gap: simtime.Sec(8), NewParallelism: 8},
+		}, seed)
+}
+
+// DiurnalScenario drifts offered load between 0.7× and 1.1× on a compressed
+// 24 s day/night cycle, scaling out near the peak and back as load falls.
+func DiurnalScenario(seed int64) Scenario {
+	return shapedScenario("diurnal", 0.5,
+		workload.Diurnal(simtime.Sec(24), 0.7, 1.1),
+		[]Wave{
+			{NewParallelism: 12},
+			{Gap: simtime.Sec(10), NewParallelism: 8},
+		}, seed)
+}
+
+// HotShiftScenario keeps the rate flat but migrates the Zipf hot set by 4%
+// of the key space every 2 s, so the key groups that matter at scale time
+// are not the ones that matter when migration finishes.
+func HotShiftScenario(seed int64) Scenario {
+	sc := shapedScenario("hotshift", 1.0,
+		workload.HotKeyDrift(simtime.Sec(2), 0.04), nil, seed)
+	sc.NewParallelism = 12
+	return sc
+}
+
+// TwitchReboundScenario replays the Twitch pipeline with an out-then-back
+// program: 8→12 at warmup, 12→8 eight seconds after the first wave settles.
+func TwitchReboundScenario(seed int64) Scenario {
+	sc := TwitchScenario(seed)
+	sc.Name = "twitch-rebound"
+	sc.Waves = []Wave{
+		{NewParallelism: 12},
+		{Gap: simtime.Sec(8), NewParallelism: 8},
+	}
+	return sc
 }
 
 // SwarmCluster builds the paper's 4-node heterogeneous Docker Swarm stand-in

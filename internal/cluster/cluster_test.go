@@ -122,6 +122,104 @@ func TestTransferInfiniteBandwidth(t *testing.T) {
 	}
 }
 
+// TestTransferSameSourceSerializesAcrossDestinations pins the queueing model
+// the subscale scheduler leans on: the bandwidth pool belongs to the source
+// node, so transfers to *different* destinations still serialize.
+func TestTransferSameSourceSerializesAcrossDestinations(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("src", 1, 1000)
+	c.AddNode("d1", 1, 1000)
+	c.AddNode("d2", 1, 1000)
+	c.Place(ep("a", 0), "src")
+	c.Place(ep("b", 0), "d1")
+	c.Place(ep("b", 1), "d2")
+	var done []simtime.Time
+	c.Transfer(ep("a", 0), ep("b", 0), 1000, func() { done = append(done, s.Now()) })
+	c.Transfer(ep("a", 0), ep("b", 1), 1000, func() { done = append(done, s.Now()) })
+	s.Run()
+	lat := c.TransferLatency
+	if done[0] != simtime.Time(simtime.Sec(1)).Add(lat) {
+		t.Fatalf("first transfer done at %v", done[0])
+	}
+	if done[1] != simtime.Time(simtime.Sec(2)).Add(lat) {
+		t.Fatalf("second transfer to a different destination should still queue on src: %v", done[1])
+	}
+}
+
+// TestTransferIdleGapDoesNotCarryOver guards busyUntil bookkeeping: after the
+// source drains and sits idle, the next transfer starts from now, not from
+// the stale busyUntil.
+func TestTransferIdleGapDoesNotCarryOver(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("src", 1, 1000)
+	c.AddNode("dst", 1, 1000)
+	c.Place(ep("a", 0), "src")
+	c.Place(ep("b", 0), "dst")
+	var done []simtime.Time
+	c.Transfer(ep("a", 0), ep("b", 0), 500, func() { done = append(done, s.Now()) })
+	s.Run()
+	// Launch the second transfer 10 s later, long after the first finished.
+	s.At(simtime.Time(simtime.Sec(10)), func() {
+		c.Transfer(ep("a", 0), ep("b", 0), 500, func() { done = append(done, s.Now()) })
+	})
+	s.Run()
+	if len(done) != 2 {
+		t.Fatalf("completions %d", len(done))
+	}
+	want := simtime.Time(simtime.Sec(10.5)).Add(c.TransferLatency)
+	if done[1] != want {
+		t.Fatalf("post-idle transfer done at %v, want %v", done[1], want)
+	}
+}
+
+// TestTransferZeroBytes covers empty key groups: the transfer must still
+// round-trip (latency only) and complete, or migrations of empty groups
+// would hang the scaling protocol.
+func TestTransferZeroBytes(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	n := c.AddNode("src", 1, 1000)
+	c.AddNode("dst", 1, 1000)
+	c.Place(ep("a", 0), "src")
+	c.Place(ep("b", 0), "dst")
+	fired := false
+	c.Transfer(ep("a", 0), ep("b", 0), 0, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("zero-byte transfer never completed")
+	}
+	if s.Now() != simtime.Time(c.TransferLatency) {
+		t.Fatalf("zero-byte transfer took %v, want latency only", s.Now())
+	}
+	if n.TransferredBytes != 0 {
+		t.Fatalf("transferred %d bytes", n.TransferredBytes)
+	}
+}
+
+// TestTransferredBytesAccountsPerSourceNode checks the outgoing-traffic
+// counters stay with the sending node.
+func TestTransferredBytesAccountsPerSourceNode(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	n1 := c.AddNode("n1", 1, 0)
+	n2 := c.AddNode("n2", 1, 0)
+	c.Place(ep("a", 0), "n1")
+	c.Place(ep("a", 1), "n2")
+	c.Place(ep("b", 0), "n2")
+	c.Transfer(ep("a", 0), ep("b", 0), 300, func() {})
+	c.Transfer(ep("a", 1), ep("b", 0), 700, func() {}) // n2-internal
+	c.Transfer(ep("a", 0), ep("a", 1), 200, func() {})
+	s.Run()
+	if n1.TransferredBytes != 500 {
+		t.Fatalf("n1 transferred %d, want 500", n1.TransferredBytes)
+	}
+	if n2.TransferredBytes != 700 {
+		t.Fatalf("n2 transferred %d, want 700", n2.TransferredBytes)
+	}
+}
+
 func TestTransfersFromDifferentNodesDontContend(t *testing.T) {
 	s := simtime.NewScheduler()
 	c := New(s)

@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"drrs/internal/dataflow"
 	"drrs/internal/engine"
@@ -141,7 +142,9 @@ func confirmKey(dst, src int, predOp string, predIdx int) string {
 	return fmt.Sprintf("%d|%d|%s|%d", dst, src, predOp, predIdx)
 }
 
-var scaleIDs int64
+// scaleIDs is atomic: mechanisms start inside the bench harness's parallel
+// runs, and the ID only needs process-wide uniqueness, not ordering.
+var scaleIDs atomic.Int64
 
 // Mechanism is the DRRS scale coordinator.
 type Mechanism struct {
@@ -207,8 +210,7 @@ func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
 		m.startCoupled(rt, plan, done)
 		return
 	}
-	scaleIDs++
-	m.scaleID = scaleIDs
+	m.scaleID = scaleIDs.Add(1)
 	m.rt = rt
 	m.plan = plan
 	m.op = plan.Operator

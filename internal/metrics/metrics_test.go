@@ -54,6 +54,23 @@ func TestStats(t *testing.T) {
 	}
 }
 
+func TestStatsLargeMagnitude(t *testing.T) {
+	// Regression: the old E[X²]−E[X]² variance cancels catastrophically for
+	// large-magnitude samples and reported Std=0 here.
+	s := NewSeries("x")
+	for i, v := range []float64{1e9, 1e9 + 1, 1e9 + 2} {
+		s.Append(simtime.Time(i), v)
+	}
+	st := s.StatsIn(0, 100)
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(st.Std-want) > 1e-6 {
+		t.Fatalf("std %v, want %v (catastrophic cancellation?)", st.Std, want)
+	}
+	if st.Mean != 1e9+1 {
+		t.Fatalf("mean %v", st.Mean)
+	}
+}
+
 func TestStatsEmpty(t *testing.T) {
 	s := NewSeries("x")
 	st := s.StatsIn(0, 100)
@@ -257,6 +274,53 @@ func TestCloseAllSuspensions(t *testing.T) {
 	m.CloseAllSuspensions(300)
 	if got := m.CumulativeSuspension(); got != 200+100 {
 		t.Fatalf("susp %v", got)
+	}
+}
+
+// TestCloseAllSuspensionsDeterministic is the regression guard for the
+// map-iteration bug: with ≥2 instances still open at experiment end, all
+// closures land on the same timestamp and the cumulative curve appends one
+// intermediate value per closure — random order emitted different series for
+// the same run. Closures must happen in instance-name order regardless of
+// how the intervals were opened.
+func TestCloseAllSuspensionsDeterministic(t *testing.T) {
+	// The open order must not matter: closures happen in instance-name
+	// order, so the intermediate cumulative values are fully determined by
+	// (name, open time), not by map iteration.
+	durations := map[string]simtime.Time{"op[3]": 100, "op[11]": 150, "op[0]": 200, "op[7]": 250}
+	curve := func(openOrder []string) []Point {
+		m := NewScalingMetrics()
+		for _, name := range openOrder {
+			m.SuspendBegin(name, durations[name])
+		}
+		m.CloseAllSuspensions(1000)
+		return append([]Point(nil), m.SuspensionCurve().Points()...)
+	}
+	a := curve([]string{"op[3]", "op[11]", "op[0]", "op[7]"})
+	b := curve([]string{"op[7]", "op[0]", "op[11]", "op[3]"})
+	if len(a) != 4 {
+		t.Fatalf("curve length %d, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("open order leaked into the curve: %v vs %v", a, b)
+		}
+		if a[i].At != 1000 {
+			t.Fatalf("closure %d at %v, want shared timestamp 1000", i, a[i].At)
+		}
+	}
+	// Name-sorted closure: op[0] (800), op[11] (850), op[3] (900), op[7]
+	// (750) → cumulative 800, 1650, 2550, 3300 ticks, in ms on the curve.
+	want := []float64{
+		simtime.Duration(800).Millis(),
+		simtime.Duration(1650).Millis(),
+		simtime.Duration(2550).Millis(),
+		simtime.Duration(3300).Millis(),
+	}
+	for i, w := range want {
+		if math.Abs(a[i].V-w) > 1e-12 {
+			t.Fatalf("cumulative values %v, want %v (closure not name-sorted)", a, want)
+		}
 	}
 }
 

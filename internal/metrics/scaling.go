@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"drrs/internal/simtime"
@@ -213,17 +214,24 @@ func (m *ScalingMetrics) SuspendEnd(instance string, at simtime.Time) {
 }
 
 // CloseAllSuspensions force-closes any open intervals (called at experiment
-// end so in-progress suspensions count).
-func (m *ScalingMetrics) CloseAllSuspensions(at simtime.Time) {
+// end so in-progress suspensions count). Intervals close in instance-name
+// order: all closures share the same timestamp, and the cumulative curve
+// appends one intermediate value per closure, so map-iteration order would
+// make same-seed runs emit different series. It returns the closed instance
+// names (sorted) so a caller swapping in a fresh collector can re-open the
+// still-suspended instances there.
+func (m *ScalingMetrics) CloseAllSuspensions(at simtime.Time) []string {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.suspOpen))
 	for n := range m.suspOpen {
 		names = append(names, n)
 	}
 	m.mu.Unlock()
+	sort.Strings(names)
 	for _, n := range names {
 		m.SuspendEnd(n, at)
 	}
+	return names
 }
 
 // CumulativeSuspension reports total suspension time so far.

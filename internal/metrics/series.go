@@ -74,12 +74,11 @@ func computeStats(pts []Point) Stats {
 	if len(pts) == 0 {
 		return Stats{}
 	}
-	var sum, sumsq float64
+	var sum float64
 	vals := make([]float64, len(pts))
 	for i, p := range pts {
 		vals[i] = p.V
 		sum += p.V
-		sumsq += p.V * p.V
 		if p.V > st.Max {
 			st.Max = p.V
 		}
@@ -89,7 +88,15 @@ func computeStats(pts []Point) Stats {
 	}
 	st.Count = len(pts)
 	st.Mean = sum / float64(len(pts))
-	variance := sumsq/float64(len(pts)) - st.Mean*st.Mean
+	// Two-pass variance: the textbook E[X²]−E[X]² form cancels
+	// catastrophically for large-magnitude samples (e.g. values near 1e9
+	// with small spread report Std=0).
+	var sq float64
+	for _, v := range vals {
+		d := v - st.Mean
+		sq += d * d
+	}
+	variance := sq / float64(len(pts))
 	if variance > 0 {
 		st.Std = math.Sqrt(variance)
 	}

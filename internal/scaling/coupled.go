@@ -3,6 +3,7 @@ package scaling
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"drrs/internal/engine"
 	"drrs/internal/netsim"
@@ -62,17 +63,18 @@ type CoupledController struct {
 	finished bool
 }
 
-var coupledIDs int64
+// coupledIDs is atomic: controllers are built inside the bench harness's
+// parallel runs, and the ID only needs process-wide uniqueness, not ordering.
+var coupledIDs atomic.Int64
 
 // NewCoupledController builds a controller over the plan with the given
 // round batches (each a slice of key groups). Batches must cover the plan's
 // moves exactly.
 func NewCoupledController(plan Plan, rounds [][]int) *CoupledController {
-	coupledIDs++
 	return &CoupledController{
 		plan:    plan,
 		rounds:  rounds,
-		scaleID: coupledIDs,
+		scaleID: coupledIDs.Add(1),
 		moved:   plan.MovedSet(),
 		aligned: make(map[int]map[int]bool),
 		migDone: make(map[int]bool),

@@ -29,6 +29,9 @@ type Config struct {
 	StateBytesPerKey int
 	// CostPerRecord is the aggregator's processing cost.
 	CostPerRecord simtime.Duration
+	// Shape programs rate phases and hot-key drift over the run; the zero
+	// Shape is the classic flat load.
+	Shape Shape
 	// Duration bounds generation; 0 generates forever.
 	Duration simtime.Duration
 	// WatermarkEvery sets the watermark cadence (default 100 ms).
@@ -102,13 +105,12 @@ func Build(cfg Config) (*dataflow.Graph, *engine.CollectSink) {
 	return g, sink
 }
 
-// generator emits Zipf-keyed records at a fixed rate with periodic
-// watermarks.
+// generator emits Zipf-keyed records at the shape-modulated rate with
+// periodic watermarks.
 func generator(cfg Config) dataflow.SourceFunc {
 	return func(ctx dataflow.SourceContext) {
 		rng := simtime.NewRNG(cfg.Seed, "workload/gen")
 		zipf := simtime.NewZipf(simtime.NewRNG(cfg.Seed, "workload/zipf"), cfg.Keys, cfg.Skew)
-		period := simtime.Duration(float64(simtime.Second) / cfg.RatePerSec)
 		start := ctx.Now()
 		deadline := simtime.Time(-1)
 		if cfg.Duration > 0 {
@@ -123,9 +125,10 @@ func generator(cfg Config) dataflow.SourceFunc {
 				ctx.EmitWatermark(now)
 				return
 			}
+			el := now.Sub(start)
 			r := ctx.NewRecord()
 			// Key 0 is reserved; ranks shift by 1.
-			r.Key = uint64(zipf.Next()) + 1
+			r.Key = uint64(cfg.Shape.MapRank(zipf.Next(), el, cfg.Keys)) + 1
 			r.EventTime = now
 			r.Size = 100
 			r.Data = 1.0
@@ -134,6 +137,7 @@ func generator(cfg Config) dataflow.SourceFunc {
 				ctx.EmitWatermark(now)
 				nextWM = now.Add(cfg.WatermarkEvery)
 			}
+			period := simtime.Duration(float64(simtime.Second) / (cfg.RatePerSec * cfg.Shape.FactorAt(el)))
 			ctx.After(rng.Jitter(period, 0.05), tick)
 		}
 		tick()

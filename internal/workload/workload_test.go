@@ -110,6 +110,115 @@ func TestKeysLandInCorrectGroups(t *testing.T) {
 	}
 }
 
+func TestShapeFactorAt(t *testing.T) {
+	// Flat (zero) shape.
+	if f := (Shape{}).FactorAt(simtime.Sec(5)); f != 1 {
+		t.Fatalf("zero shape factor %v", f)
+	}
+	// Flash crowd: 1× for 10 s, 2× for 5 s, 1× after.
+	fc := FlashCrowd(simtime.Sec(10), simtime.Sec(5), 2)
+	for _, c := range []struct {
+		at   simtime.Duration
+		want float64
+	}{{simtime.Sec(1), 1}, {simtime.Sec(12), 2}, {simtime.Sec(16), 1}, {simtime.Sec(100), 1}} {
+		if f := fc.FactorAt(c.at); f != c.want {
+			t.Fatalf("flash crowd factor at %v = %v, want %v", c.at, f, c.want)
+		}
+	}
+	// Diurnal: ramps low→high→low and loops.
+	d := Diurnal(simtime.Sec(20), 0.5, 1.5)
+	if f := d.FactorAt(0); f != 0.5 {
+		t.Fatalf("diurnal start %v", f)
+	}
+	if f := d.FactorAt(simtime.Sec(10)); f != 1.5 {
+		t.Fatalf("diurnal peak %v", f)
+	}
+	if f := d.FactorAt(simtime.Sec(5)); f != 1.0 {
+		t.Fatalf("diurnal mid-ramp %v", f)
+	}
+	if a, b := d.FactorAt(simtime.Sec(3)), d.FactorAt(simtime.Sec(43)); a != b {
+		t.Fatalf("diurnal should loop: %v vs %v", a, b)
+	}
+	// A nonsense zero/negative factor clamps instead of stalling the
+	// generator.
+	bad := Shape{Phases: []Phase{{Duration: simtime.Sec(1), StartFactor: -1, EndFactor: -1}}}
+	if f := bad.FactorAt(simtime.Ms(500)); f <= 0 {
+		t.Fatalf("factor %v must stay positive", f)
+	}
+}
+
+func TestShapeMapRankDrift(t *testing.T) {
+	s := HotKeyDrift(simtime.Sec(2), 0.1)
+	const keys = 100
+	if got := s.MapRank(3, simtime.Sec(1), keys); got != 3 {
+		t.Fatalf("no shift before the first interval: %d", got)
+	}
+	if got := s.MapRank(3, simtime.Sec(3), keys); got != 13 {
+		t.Fatalf("one shift of 10%%: %d, want 13", got)
+	}
+	if got := s.MapRank(95, simtime.Sec(3), keys); got != 5 {
+		t.Fatalf("shift must wrap the key space: %d, want 5", got)
+	}
+	// Zero shape never remaps.
+	if got := (Shape{}).MapRank(42, simtime.Sec(99), keys); got != 42 {
+		t.Fatalf("zero shape remapped to %d", got)
+	}
+}
+
+func TestFlashCrowdRaisesRate(t *testing.T) {
+	base := Config{RatePerSec: 2000, Duration: simtime.Sec(6), Seed: 9, EmitUpdates: true}
+	shaped := base
+	shaped.Shape = FlashCrowd(simtime.Sec(2), simtime.Sec(2), 1.5)
+	rt, _ := run(t, base)
+	rts, _ := run(t, shaped)
+	flat := rt.Throughput.Series()
+	spiked := rts.Throughput.Series()
+	// Bucket 3 (t ∈ [3s,4s)) sits inside the spike: ~3000/s vs ~2000/s.
+	flatMid := flat.Slice(simtime.Time(simtime.Sec(3)), simtime.Time(simtime.Sec(4)))
+	spikeMid := spiked.Slice(simtime.Time(simtime.Sec(3)), simtime.Time(simtime.Sec(4)))
+	if len(flatMid) == 0 || len(spikeMid) == 0 {
+		t.Fatal("missing throughput buckets")
+	}
+	if spikeMid[0].V < flatMid[0].V*1.3 {
+		t.Fatalf("spike bucket %v not ≈1.5× flat bucket %v", spikeMid[0].V, flatMid[0].V)
+	}
+	// Outside the spike the rates match.
+	flatPre := flat.Slice(simtime.Time(simtime.Sec(1)), simtime.Time(simtime.Sec(2)))
+	spikePre := spiked.Slice(simtime.Time(simtime.Sec(1)), simtime.Time(simtime.Sec(2)))
+	if d := math.Abs(spikePre[0].V - flatPre[0].V); d > flatPre[0].V*0.1 {
+		t.Fatalf("pre-spike rates diverge: %v vs %v", spikePre[0].V, flatPre[0].V)
+	}
+}
+
+func TestHotKeyDriftSpreadsLoad(t *testing.T) {
+	// With a static skewed distribution one key owns the whole run's hot
+	// mass; when the hot set drifts, that mass spreads across the rotation's
+	// successive hot keys and the top key's share collapses.
+	share := func(shape Shape) float64 {
+		cfg := Config{
+			Keys: 500, Skew: 1.2, RatePerSec: 4000, Duration: simtime.Sec(6),
+			Seed: 10, Shape: shape, EmitUpdates: true,
+		}
+		_, sink := run(t, cfg)
+		var max, total float64
+		for _, v := range sink.ByKey {
+			total += v
+			if v > max {
+				max = v
+			}
+		}
+		if total == 0 {
+			t.Fatal("nothing reached the sink")
+		}
+		return max / total
+	}
+	static := share(Shape{})
+	drift := share(HotKeyDrift(simtime.Sec(1), 0.2))
+	if drift >= static*0.7 {
+		t.Fatalf("drift top-key share %.3f should be well below static %.3f", drift, static)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	cfg := Config{RatePerSec: 2500, Duration: simtime.Sec(1), Seed: 6, EmitUpdates: true}
 	_, a := run(t, cfg)
