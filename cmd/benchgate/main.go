@@ -1,0 +1,207 @@
+// Command benchgate is the benchmark-regression gate: it parses `go test
+// -bench` output (stdin or -input), compares every benchmark that appears in
+// the checked-in baseline, and exits non-zero when ns/op or allocs/op
+// regresses beyond the threshold. CI runs it instead of fire-and-forget
+// smoke benches, so hot-path regressions fail the build instead of scrolling
+// past.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Scheduler|EdgePump' -benchmem ./... | benchgate -baseline bench_baseline.json
+//	benchgate -baseline bench_baseline.json -input bench.txt
+//	go test -run '^$' -bench . -benchmem ./... | benchgate -baseline bench_baseline.json -update
+//
+// The baseline records ns/op and allocs/op per benchmark plus a global
+// regression threshold (fraction; 0.15 = fail beyond +15%). ns/op is
+// machine-dependent — regenerate the baseline with -update when the CI
+// runner class changes. allocs/op is exact, so a zero-alloc baseline fails
+// on the first allocation that sneaks back in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in reference (bench_baseline.json).
+type Baseline struct {
+	// Threshold is the allowed fractional regression (default 0.15).
+	Threshold float64 `json:"threshold"`
+	// Note documents how to regenerate the file.
+	Note       string                `json:"note,omitempty"`
+	Benchmarks map[string]*Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's reference numbers.
+type Benchmark struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline JSON to compare against")
+	input := flag.String("input", "", "benchmark output file (default stdin)")
+	threshold := flag.Float64("threshold", 0, "override the baseline's regression threshold (fraction)")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of gating")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatalf("open input: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		fatalf("parse benchmark output: %v", err)
+	}
+	if len(measured) == 0 {
+		fatalf("no benchmark result lines in input — did the bench step run with -bench?")
+	}
+
+	if *update {
+		writeBaseline(*baselinePath, measured, *threshold)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatalf("decode baseline %s: %v", *baselinePath, err)
+	}
+	limit := base.Threshold
+	if *threshold > 0 {
+		limit = *threshold
+	}
+	if limit <= 0 {
+		limit = 0.15
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	compared := 0
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := measured[name]
+		if !ok {
+			continue // this CI step ran a subset of the gated benchmarks
+		}
+		compared++
+		check := func(metric string, got, want float64) {
+			if want < 0 {
+				return // metric not gated for this benchmark
+			}
+			allowed := want * (1 + limit)
+			status := "ok"
+			if got > allowed {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s %s: %.4g > %.4g (baseline %.4g +%d%%)",
+					name, metric, got, allowed, want, int(limit*100)))
+			}
+			fmt.Printf("%-34s %-12s %14.4g  baseline %14.4g  %s\n", name, metric, got, want, status)
+		}
+		check("ns/op", got.NsPerOp, want.NsPerOp)
+		check("allocs/op", got.AllocsPerOp, want.AllocsPerOp)
+	}
+	if compared == 0 {
+		fatalf("none of the %d baseline benchmarks appeared in the input", len(base.Benchmarks))
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s) beyond +%d%%:\n", len(failures), int(limit*100))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within +%d%% of baseline\n", compared, int(limit*100))
+}
+
+// parseBench extracts ns/op and allocs/op per benchmark from `go test -bench`
+// output. Names are normalized by stripping the -GOMAXPROCS suffix; repeated
+// runs of one benchmark keep the minimum (the conventional stable estimate).
+func parseBench(r io.Reader) (map[string]*Benchmark, error) {
+	out := make(map[string]*Benchmark)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := &Benchmark{NsPerOp: -1, AllocsPerOp: -1}
+		// Lines read "<name> <N> <value> <unit> <value> <unit> ...".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if b.NsPerOp < 0 && b.AllocsPerOp < 0 {
+			continue
+		}
+		if prev, ok := out[name]; ok {
+			if b.NsPerOp >= 0 && (prev.NsPerOp < 0 || b.NsPerOp < prev.NsPerOp) {
+				prev.NsPerOp = b.NsPerOp
+			}
+			if b.AllocsPerOp >= 0 && (prev.AllocsPerOp < 0 || b.AllocsPerOp < prev.AllocsPerOp) {
+				prev.AllocsPerOp = b.AllocsPerOp
+			}
+			continue
+		}
+		out[name] = b
+	}
+	return out, sc.Err()
+}
+
+func writeBaseline(path string, measured map[string]*Benchmark, threshold float64) {
+	if threshold <= 0 {
+		threshold = 0.15
+	}
+	base := Baseline{
+		Threshold:  threshold,
+		Note:       "regenerate with: go test -run '^$' -bench <set> -benchmem ... | benchgate -baseline bench_baseline.json -update",
+		Benchmarks: measured,
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fatalf("write baseline: %v", err)
+	}
+	fmt.Printf("benchgate: baseline %s updated with %d benchmark(s)\n", path, len(measured))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(2)
+}

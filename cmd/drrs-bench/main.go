@@ -9,12 +9,16 @@
 //	drrs-bench -experiment fig15 -seeds 1
 //	drrs-bench -experiment multiwave -workload flash-crowd
 //	drrs-bench -experiment sweep -workload flash-crowd,diurnal -mechanisms drrs,meces
+//	drrs-bench -experiment topology -workload rack-skew
+//	drrs-bench -experiment multiwave -workload bigcluster-128 -topology rack8x16
 //	drrs-bench -experiment all -parallel 8 -perf BENCH.json
 //
 // Experiments: fig2, fig10 (also emits Figs 11–13 from the same runs),
-// fig14, fig15, multiwave, sweep, ablation, all. -workload accepts any
-// registered scenario (see -list); fig10's default "all" covers the paper's
-// q7, q8, twitch; sweep's default "all" covers every registered scenario.
+// fig14, fig15, multiwave, sweep, topology (rack-local vs spread placement),
+// ablation, all. -workload accepts any registered scenario (see -list);
+// fig10's default "all" covers the paper's q7, q8, twitch; sweep's default
+// "all" covers every registered scenario. -topology/-placement force every
+// run onto a named cluster substrate / placement policy.
 //
 // Independent (workload, mechanism, seed) runs execute on a worker pool of
 // -parallel goroutines (default GOMAXPROCS; 1 forces sequential). Every
@@ -55,21 +59,27 @@ type perfRecord struct {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2 | fig10 | fig14 | fig15 | multiwave | sweep | ablation | all")
+	experiment := flag.String("experiment", "all", "fig2 | fig10 | fig14 | fig15 | multiwave | sweep | topology | ablation | all")
 	workloadName := flag.String("workload", "all", "registered scenario name, comma list, or all (see -list)")
-	mechanisms := flag.String("mechanisms", "", "comma list of mechanisms for multiwave/sweep (default drrs,meces,megaphone)")
+	mechanisms := flag.String("mechanisms", "", "comma list of mechanisms for multiwave/sweep/topology (default drrs,meces,megaphone)")
 	seeds := flag.Int("seeds", 3, "number of repeated runs per configuration")
 	baseSeed := flag.Int64("seed", 1, "base seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS, 1 = sequential)")
+	topology := flag.String("topology", "", "override every run's cluster: "+strings.Join(bench.Topologies(), " | "))
+	placement := flag.String("placement", "", "override every run's placement policy: spread | pack | rack-local")
 	perfOut := flag.String("perf", "", "write a JSON perf record (wall time, events/sec per figure) to this file")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
 	if *list {
-		fmt.Printf("%-16s %-8s %s\n", "scenario", "waves", "description")
+		fmt.Printf("%-16s %-10s %-44s %s\n", "scenario", "waves", "layout", "description")
 		for _, def := range bench.Definitions() {
 			sc := def.New(*baseSeed)
-			fmt.Printf("%-16s %-8s %s\n", def.Name, sc.ProgramString(), def.Description)
+			layout := def.Layout
+			if layout == "" {
+				layout = "flat single node"
+			}
+			fmt.Printf("%-16s %-10s %-44s %s\n", def.Name, sc.ProgramString(), layout, def.Description)
 		}
 		return
 	}
@@ -77,6 +87,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drrs-bench: -seeds must be >= 1 (got %d): every figure needs at least one run per configuration\n", *seeds)
 		os.Exit(2)
 	}
+	if *experiment == "topology" && *placement != "" {
+		// The topology figure IS the placement comparison; an override would
+		// collapse both columns onto one policy.
+		fmt.Fprintf(os.Stderr, "drrs-bench: -placement is ignored by -experiment topology (it compares policies itself)\n")
+		*placement = ""
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Fprintf(os.Stderr, "drrs-bench: %v\n", r)
+				os.Exit(2)
+			}
+		}()
+		bench.SetClusterOverride(*topology, *placement)
+	}()
 
 	bench.Workers = *parallel
 
@@ -172,6 +197,11 @@ func main() {
 		run("sweep", func() bench.FigureResult {
 			return bench.Sweep(workloads(*workloadName, bench.ScenarioNames()), mechList, seedList)
 		})
+	case "topology":
+		for _, wl := range workloads(*workloadName, []string{"rack-skew", "hetero-tiers"}) {
+			wl := wl
+			run(wl, func() bench.FigureResult { return bench.TopologyFigure(wl, mechList, seedList) })
+		}
 	case "ablation":
 		run("ablation", func() bench.FigureResult { return ablation(*baseSeed) })
 	case "all":
@@ -182,6 +212,7 @@ func main() {
 		}
 		run("fig14", func() bench.FigureResult { return bench.Fig14(seedList) })
 		run("multiwave", func() bench.FigureResult { return bench.MultiWave("flash-crowd", mechList, seedList) })
+		run("topology", func() bench.FigureResult { return bench.TopologyFigure("rack-skew", mechList, seedList) })
 		run("fig15", func() bench.FigureResult {
 			_, res := bench.Fig15(*baseSeed,
 				[]float64{6000, 10000, 12000},

@@ -32,6 +32,8 @@ func main() {
 	workloadName := flag.String("workload", "twitch", "any registered scenario (see drrs-bench -list)")
 	mechName := flag.String("mechanism", "drrs", "scaling mechanism (see doc)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	topology := flag.String("topology", "", "override the scenario's cluster (flat | swarm | rack4x4 | rack8x16 | tiers3x8)")
+	placement := flag.String("placement", "", "override the placement policy (spread | pack | rack-local)")
 	verbose := flag.Bool("v", false, "print the post-run instance table")
 	flag.Parse()
 
@@ -42,6 +44,7 @@ func main() {
 		}
 	}()
 
+	bench.SetClusterOverride(*topology, *placement)
 	sc := bench.ScenarioByName(*workloadName, *seed)
 	t0 := time.Now()
 	// Fresh mechanism per wave: multi-wave scenarios rescale repeatedly, and
@@ -76,6 +79,10 @@ func main() {
 			o.PeakIn(o.ScaleAt, o.EndAt), o.AvgIn(o.ScaleAt, o.EndAt))
 	}
 	fmt.Printf("throughput : %d records total\n", o.Throughput.Total())
+	if o.TransferredBytes > 0 {
+		fmt.Printf("migration  : %.2f MB moved, %.2f MB across rack uplinks\n",
+			float64(o.TransferredBytes)/(1<<20), float64(o.CrossRackBytes)/(1<<20))
+	}
 	if *verbose {
 		fmt.Println("\ninstances:")
 		// Rebuild is not possible post-run; report the throughput timeline.

@@ -47,13 +47,27 @@ type Scenario struct {
 	// Engine overrides engine defaults.
 	Engine engine.Config
 	// Cluster builds the deployment; nil means one node with
-	// MigrationBandwidth bytes/s.
+	// MigrationBandwidth bytes/s. SetClusterOverride (drrs-bench -topology)
+	// replaces it for the run.
 	Cluster func(s *simtime.Scheduler) *cluster.Cluster
+	// Placement names the placement policy installed on the cluster
+	// ("spread", "pack", "rack-local"; empty keeps the cluster factory's
+	// choice). SetClusterOverride (drrs-bench -placement) takes precedence.
+	Placement string
 	// MigrationBandwidth applies when Cluster is nil (default 4 MB/s — the
 	// paper's 1 Gbps scaled down with the state sizes).
 	MigrationBandwidth float64
 	// Seed drives the run.
 	Seed int64
+}
+
+// WithPlacement returns a copy of the scenario running under the named
+// placement policy — the knob the topology figure flips to contrast
+// rack-local against spread scale-out on an otherwise identical run.
+func (sc Scenario) WithPlacement(policy string) Scenario {
+	cluster.PolicyByName(policy) // validate eagerly
+	sc.Placement = policy
+	return sc
 }
 
 // Wave is one scaling operation in a scenario's program.
@@ -131,6 +145,11 @@ type Outcome struct {
 	// Events is the number of scheduler events the run fired — the raw
 	// simulation work, used for events/second perf accounting.
 	Events uint64
+	// TransferredBytes is total outgoing migration traffic across all nodes;
+	// CrossRackBytes is the share that crossed a rack uplink (0 on flat
+	// clusters). Their difference is what rack-local placement saves.
+	TransferredBytes int64
+	CrossRackBytes   int64
 
 	// PreAvgMs is the average latency over the warmup (pre-scaling level).
 	PreAvgMs float64
@@ -166,16 +185,14 @@ func (sc Scenario) Run(mech scaling.Mechanism) Outcome {
 func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 	g, _ := sc.Build(sc.Seed)
 	s := simtime.NewScheduler()
-	var cl *cluster.Cluster
-	if sc.Cluster != nil {
-		cl = sc.Cluster(s)
-	} else {
-		cl = cluster.New(s)
-		bw := sc.MigrationBandwidth
-		if bw == 0 {
-			bw = 4 << 20
-		}
-		cl.Node("local").MigrationBandwidth = bw
+	cl := sc.buildCluster(s)
+	// Initial deployment consults the cluster's placement policy, operator by
+	// operator in topological order (clusters without a policy keep their
+	// explicit placement — the legacy scenarios stay bit-for-bit identical).
+	// Scale-out instances are placed later, at deployment time, by
+	// scaling.Deploy through the same policy.
+	for _, op := range g.Topological() {
+		cl.PlaceInstances(op, 0, g.Operator(op).Parallelism)
 	}
 	cfg := sc.Engine
 	cfg.Seed = sc.Seed
@@ -250,6 +267,8 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 
 	out.EndAt = s.Now()
 	out.Events = s.Processed()
+	out.TransferredBytes = cl.TransferredBytes()
+	out.CrossRackBytes = cl.CrossRackBytes()
 	EventsSimulated.Add(s.Processed())
 	out.Latency = rt.Latency
 	out.Throughput = rt.Throughput
@@ -270,6 +289,35 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 		out.StabilizedAt, out.Stabilized = last.StabilizedAt, last.Stabilized
 	}
 	return out
+}
+
+// buildCluster resolves the run's deployment substrate: the -topology
+// override, else the scenario's cluster factory, else the default flat node;
+// then the -placement override, else the scenario's Placement policy, on top.
+func (sc Scenario) buildCluster(s *simtime.Scheduler) *cluster.Cluster {
+	var cl *cluster.Cluster
+	switch {
+	case clusterOverride.topology != "":
+		cl = TopologyByName(clusterOverride.topology)(s)
+	case sc.Cluster != nil:
+		cl = sc.Cluster(s)
+	default:
+		cl = cluster.New(s)
+		bw := sc.MigrationBandwidth
+		if bw == 0 {
+			bw = 4 << 20
+		}
+		cl.Node("local").MigrationBandwidth = bw
+	}
+	switch {
+	case sc.Placement != "":
+		// Explicit per-scenario placement (WithPlacement — the topology
+		// figure's two columns) outranks the CLI-wide override.
+		cl.SetPolicy(cluster.PolicyByName(sc.Placement))
+	case clusterOverride.placement != "":
+		cl.SetPolicy(cluster.PolicyByName(clusterOverride.placement))
+	}
+	return cl
 }
 
 // stabilizeWaves applies the paper's scaling-period rule per wave on the
@@ -321,6 +369,32 @@ func (o Outcome) TotalSuspension() simtime.Duration {
 	for i := range o.Waves {
 		if o.Waves[i].Scale != nil {
 			sum += o.Waves[i].Scale.CumulativeSuspension()
+		}
+	}
+	return sum
+}
+
+// TotalMigration sums migration duration across all launched waves.
+func (o Outcome) TotalMigration() simtime.Duration {
+	var sum simtime.Duration
+	for i := range o.Waves {
+		if o.Waves[i].Scale != nil {
+			sum += o.Waves[i].Scale.MigrationDuration()
+		}
+	}
+	return sum
+}
+
+// TotalScalingPeriod sums the request-to-restabilization span across all
+// launched waves.
+func (o Outcome) TotalScalingPeriod() simtime.Duration {
+	if len(o.Waves) == 0 {
+		return o.ScalingPeriod()
+	}
+	var sum simtime.Duration
+	for i := range o.Waves {
+		if o.Waves[i].Scale != nil {
+			sum += o.Waves[i].ScalingPeriod()
 		}
 	}
 	return sum

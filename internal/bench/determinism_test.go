@@ -22,6 +22,10 @@ func requireSameOutcome(t *testing.T, label string, a, b Outcome) {
 		t.Fatalf("%s: timeline differs: %v/%v/%v vs %v/%v/%v", label,
 			a.ScaleAt, a.EndAt, a.StabilizedAt, b.ScaleAt, b.EndAt, b.StabilizedAt)
 	}
+	if a.TransferredBytes != b.TransferredBytes || a.CrossRackBytes != b.CrossRackBytes {
+		t.Fatalf("%s: migration bytes differ: %d/%d vs %d/%d", label,
+			a.TransferredBytes, a.CrossRackBytes, b.TransferredBytes, b.CrossRackBytes)
+	}
 	pa, pb := a.Latency.Series.Points(), b.Latency.Series.Points()
 	if len(pa) != len(pb) {
 		t.Fatalf("%s: latency series length %d vs %d", label, len(pa), len(pb))

@@ -13,7 +13,10 @@ import (
 type Definition struct {
 	Name        string
 	Description string
-	New         func(seed int64) Scenario
+	// Layout names the deployment substrate for listings ("" reads as the
+	// default flat single-node cluster).
+	Layout string
+	New    func(seed int64) Scenario
 }
 
 // registry is populated from init functions (scenarios.go) and read-only

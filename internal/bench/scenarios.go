@@ -42,6 +42,7 @@ func init() {
 		New:         TwitchScenario})
 	Register(Definition{Name: "sensitivity",
 		Description: "Fig 15 custom job at the grid midpoint (8K tps, 15 MB, skew 0.5, 4-node cluster)",
+		Layout:      "4-node heterogeneous Swarm",
 		New: func(seed int64) Scenario {
 			return SensitivityScenario(seed, 8000, 15<<20, 0.5)
 		}})

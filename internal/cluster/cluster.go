@@ -1,10 +1,14 @@
 // Package cluster models the physical deployment substrate: worker nodes
-// with processing-speed factors and per-node migration bandwidth pools.
+// with processing-speed factors and per-node migration bandwidth pools,
+// optionally organized into racks with shared cross-rack uplinks, plus the
+// placement policies that decide which node each operator instance runs on.
 //
 // State migration transfers from the same source node contend for that node's
 // migration bandwidth (FIFO), which is what makes the DRRS Subscale
 // Scheduler's per-node concurrency threshold meaningful, and what the paper's
 // sensitivity analysis (Fig 15) exercises on its 4-node Swarm cluster.
+// Transfers that cross a rack boundary additionally contend for the source
+// rack's shared uplink and pay both racks' uplink latencies (topology.go).
 package cluster
 
 import (
@@ -23,10 +27,45 @@ type Node struct {
 	// MigrationBandwidth is the byte rate available for outgoing state
 	// transfers; <= 0 means infinite.
 	MigrationBandwidth float64
+	// Rack is the rack the node belongs to ("" on flat clusters).
+	Rack string
+	// Slots is the node's instance capacity, consulted by capacity-aware
+	// placement policies; <= 0 means unbounded.
+	Slots int
+	// Unschedulable excludes the node from placement policies (explicit
+	// Place still works) — e.g. the default "local" node on rack topologies,
+	// which would otherwise soak up instances on its infinite NIC.
+	Unschedulable bool
 
 	busyUntil simtime.Time
 	// TransferredBytes counts outgoing migration traffic.
 	TransferredBytes int64
+}
+
+// reserve books bytes on the node's outgoing migration pool, starting no
+// earlier than ready, and returns when the last byte clears the NIC. An
+// infinite pool (MigrationBandwidth <= 0) never queues and never advances
+// busyUntil — the old code advanced the bookkeeping anyway, so a pool whose
+// bandwidth was raised to infinite mid-run could still delay transfers behind
+// stale busyUntil state.
+func (n *Node) reserve(ready simtime.Time, bytes int) simtime.Time {
+	n.busyUntil, ready = reservePool(n.busyUntil, n.MigrationBandwidth, ready, bytes)
+	return ready
+}
+
+// reservePool is the shared FIFO bandwidth-pool arithmetic for node NICs and
+// rack uplinks: it returns the updated busy horizon and the completion time
+// of this reservation.
+func reservePool(busyUntil simtime.Time, bandwidth float64, ready simtime.Time, bytes int) (simtime.Time, simtime.Time) {
+	if bandwidth <= 0 {
+		return busyUntil, ready
+	}
+	start := ready
+	if busyUntil > start {
+		start = busyUntil
+	}
+	done := start.Add(simtime.Duration(float64(bytes) / bandwidth * float64(simtime.Second)))
+	return done, done
 }
 
 // Cluster places operator instances onto nodes and brokers state transfers.
@@ -34,7 +73,14 @@ type Cluster struct {
 	sched     *simtime.Scheduler
 	nodes     map[string]*Node
 	order     []string
+	racks     map[string]*Rack
+	rackOrder []string
 	placement map[netsim.Endpoint]string
+	// used counts placed instances per node; opUsed counts them per
+	// (node, operator) for the rack-local policy.
+	used   map[string]int
+	opUsed map[string]map[string]int
+	policy Policy
 	// TransferLatency is the per-transfer network latency between distinct
 	// nodes; transfers within one node skip it.
 	TransferLatency simtime.Duration
@@ -46,7 +92,10 @@ func New(s *simtime.Scheduler) *Cluster {
 	c := &Cluster{
 		sched:           s,
 		nodes:           make(map[string]*Node),
+		racks:           make(map[string]*Rack),
 		placement:       make(map[netsim.Endpoint]string),
+		used:            make(map[string]int),
+		opUsed:          make(map[string]map[string]int),
 		TransferLatency: simtime.Ms(0.5),
 	}
 	c.AddNode("local", 1.0, 0)
@@ -73,13 +122,26 @@ func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
 // Nodes returns node names in registration order.
 func (c *Cluster) Nodes() []string { return append([]string(nil), c.order...) }
 
-// Place pins an instance to a node.
+// Place pins an instance to a node, replacing any earlier placement (slot
+// accounting follows the instance).
 func (c *Cluster) Place(ep netsim.Endpoint, node string) {
 	if _, ok := c.nodes[node]; !ok {
 		panic(fmt.Sprintf("cluster: place on unknown node %s", node))
 	}
+	if old, ok := c.placement[ep]; ok {
+		c.used[old]--
+		c.opUsed[old][ep.Op]--
+	}
 	c.placement[ep] = node
+	c.used[node]++
+	if c.opUsed[node] == nil {
+		c.opUsed[node] = make(map[string]int)
+	}
+	c.opUsed[node][ep.Op]++
 }
+
+// Used reports how many instances are placed on a node.
+func (c *Cluster) Used(node string) int { return c.used[node] }
 
 // PlaceRoundRobin spreads an operator's instances across all nodes.
 func (c *Cluster) PlaceRoundRobin(op string, parallelism int) {
@@ -101,24 +163,24 @@ func (c *Cluster) SpeedOf(ep netsim.Endpoint) float64 { return c.NodeOf(ep).Spee
 
 // Transfer schedules a state transfer of the given size from one instance to
 // another and invokes done on completion. Transfers leaving the same node
-// serialize on its migration bandwidth.
+// serialize on its migration bandwidth; transfers crossing a rack boundary
+// additionally serialize (store-and-forward) on the source rack's shared
+// uplink and pay both racks' uplink latencies on top of the base latency.
 func (c *Cluster) Transfer(from, to netsim.Endpoint, bytes int, done func()) {
 	src := c.NodeOf(from)
 	dst := c.NodeOf(to)
-	now := c.sched.Now()
-	var ser simtime.Duration
-	if src.MigrationBandwidth > 0 {
-		ser = simtime.Duration(float64(bytes) / src.MigrationBandwidth * float64(simtime.Second))
-	}
-	start := now
-	if src.busyUntil > start {
-		start = src.busyUntil
-	}
-	src.busyUntil = start.Add(ser)
 	src.TransferredBytes += int64(bytes)
-	arrive := src.busyUntil
-	if src != dst {
-		arrive = arrive.Add(c.TransferLatency)
+	ready := src.reserve(c.sched.Now(), bytes)
+	if src == dst {
+		c.sched.At(ready, done)
+		return
 	}
-	c.sched.At(arrive, done)
+	lat := c.TransferLatency
+	if sr, dr := c.racks[src.Rack], c.racks[dst.Rack]; sr != nil && dr != nil && sr != dr {
+		ready = sr.reserveUplink(ready, bytes)
+		sr.OutBytes += int64(bytes)
+		dr.InBytes += int64(bytes)
+		lat += sr.UplinkLatency + dr.UplinkLatency
+	}
+	c.sched.At(ready.Add(lat), done)
 }

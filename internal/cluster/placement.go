@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"fmt"
+
+	"drrs/internal/netsim"
+)
+
+// Policy decides which node each operator instance runs on. Both initial
+// deployment and scale-out waves consult the cluster's policy (scaling.Deploy
+// calls PlaceInstances for the new index range before creating instances), so
+// where scale-out lands — rack-local next to the operator's existing
+// instances, or spread across the whole cluster — is a per-run knob.
+//
+// Implementations must be deterministic: the same cluster state and arguments
+// always yield the same node, or same-seed runs would diverge.
+type Policy interface {
+	// Name identifies the policy in reports and flags.
+	Name() string
+	// Pick returns the node for instance idx of op. Lower-indexed instances
+	// are already placed when Pick runs, so policies can see the operator's
+	// current footprint through the cluster's accounting.
+	Pick(c *Cluster, op string, idx int) string
+}
+
+// PolicyNames lists the built-in placement policies.
+func PolicyNames() []string { return []string{"spread", "pack", "rack-local"} }
+
+// PolicyByName returns a built-in placement policy. Unknown names panic with
+// the known list — they indicate a harness misconfiguration.
+func PolicyByName(name string) Policy {
+	switch name {
+	case "spread":
+		return SpreadPolicy{}
+	case "pack":
+		return PackPolicy{}
+	case "rack-local":
+		return RackLocalPolicy{}
+	default:
+		panic(fmt.Sprintf("cluster: unknown placement policy %q (known: spread, pack, rack-local)", name))
+	}
+}
+
+// SetPolicy installs the placement policy PlaceInstances consults. A nil
+// policy (the default) makes PlaceInstances a no-op, preserving the legacy
+// behaviour where clusters place explicitly or fall back to the first node.
+func (c *Cluster) SetPolicy(p Policy) { c.policy = p }
+
+// PolicyName reports the installed policy ("" when none).
+func (c *Cluster) PolicyName() string {
+	if c.policy == nil {
+		return ""
+	}
+	return c.policy.Name()
+}
+
+// PlaceInstances places instances [from, to) of op through the cluster's
+// placement policy, in index order so each decision sees its predecessors.
+// Without a policy it is a no-op.
+func (c *Cluster) PlaceInstances(op string, from, to int) {
+	if c.policy == nil {
+		return
+	}
+	for idx := from; idx < to; idx++ {
+		c.Place(netsim.Endpoint{Op: op, Index: idx}, c.policy.Pick(c, op, idx))
+	}
+}
+
+// hasRoom reports whether a policy may place another instance on the node.
+func (c *Cluster) hasRoom(node string) bool {
+	n := c.nodes[node]
+	return !n.Unschedulable && (n.Slots <= 0 || c.used[node] < n.Slots)
+}
+
+// leastUsed returns the schedulable node with the fewest placed instances
+// among the given candidates (registration-order tiebreak); used when every
+// candidate is full, so placement degrades gracefully instead of failing.
+// When every candidate is unschedulable it falls back to the absolute
+// least-used one — placement must always produce a node.
+func (c *Cluster) leastUsed(candidates []string) string {
+	best, found := "", false
+	for _, name := range candidates {
+		if c.nodes[name].Unschedulable {
+			continue
+		}
+		if !found || c.used[name] < c.used[best] {
+			best, found = name, true
+		}
+	}
+	if found {
+		return best
+	}
+	best = candidates[0]
+	for _, name := range candidates[1:] {
+		if c.used[name] < c.used[best] {
+			best = name
+		}
+	}
+	return best
+}
+
+// SpreadPolicy distributes instances round-robin across all nodes by index
+// (matching PlaceRoundRobin, so pre-placed legacy scenarios and policy-driven
+// runs agree), walking past full nodes.
+type SpreadPolicy struct{}
+
+// Name implements Policy.
+func (SpreadPolicy) Name() string { return "spread" }
+
+// Pick implements Policy.
+func (SpreadPolicy) Pick(c *Cluster, op string, idx int) string {
+	n := len(c.order)
+	for off := 0; off < n; off++ {
+		name := c.order[(idx+off)%n]
+		if c.hasRoom(name) {
+			return name
+		}
+	}
+	return c.leastUsed(c.order)
+}
+
+// PackPolicy fills nodes in registration order up to their Slots capacity,
+// minimizing the number of nodes in use — the bin-packing default of
+// resource managers. With unbounded slots everything lands on the first node.
+type PackPolicy struct{}
+
+// Name implements Policy.
+func (PackPolicy) Name() string { return "pack" }
+
+// Pick implements Policy.
+func (PackPolicy) Pick(c *Cluster, op string, idx int) string {
+	for _, name := range c.order {
+		if c.hasRoom(name) {
+			return name
+		}
+	}
+	return c.leastUsed(c.order)
+}
+
+// RackLocalPolicy keeps an operator's instances together: new instances go to
+// the racks already hosting the operator (least-loaded node first, so the
+// rack stays balanced), which keeps scale-out state transfers off the rack
+// uplinks. When the operator has no footprint yet it seeds the first rack;
+// when the preferred racks are full it spills to the least-loaded node with
+// room anywhere.
+type RackLocalPolicy struct{}
+
+// Name implements Policy.
+func (RackLocalPolicy) Name() string { return "rack-local" }
+
+// Pick implements Policy.
+func (RackLocalPolicy) Pick(c *Cluster, op string, idx int) string {
+	if len(c.rackOrder) == 0 {
+		return SpreadPolicy{}.Pick(c, op, idx)
+	}
+	var preferred []string
+	for _, rack := range c.rackOrder {
+		hosts := false
+		for _, name := range c.RackNodes(rack) {
+			if c.opUsed[name][op] > 0 {
+				hosts = true
+				break
+			}
+		}
+		if hosts {
+			preferred = append(preferred, c.RackNodes(rack)...)
+		}
+	}
+	if len(preferred) == 0 {
+		preferred = c.RackNodes(c.rackOrder[0])
+	}
+	if name, ok := pickLeastUsedWithRoom(c, preferred); ok {
+		return name
+	}
+	if name, ok := pickLeastUsedWithRoom(c, c.order); ok {
+		return name
+	}
+	return c.leastUsed(c.order)
+}
+
+// pickLeastUsedWithRoom returns the least-loaded candidate that still has a
+// free slot (registration-order tiebreak).
+func pickLeastUsedWithRoom(c *Cluster, candidates []string) (string, bool) {
+	best, found := "", false
+	for _, name := range candidates {
+		if !c.hasRoom(name) {
+			continue
+		}
+		if !found || c.used[name] < c.used[best] {
+			best, found = name, true
+		}
+	}
+	return best, found
+}

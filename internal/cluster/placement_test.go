@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"testing"
+
+	"drrs/internal/simtime"
+)
+
+// policyCluster builds 2 racks × 2 nodes with 2 slots each (plus the default
+// unbounded "local" node kept off the racks).
+func policyCluster(s *simtime.Scheduler) *Cluster {
+	c := New(s)
+	c.Node("local").Slots = 0 // unbounded, flat
+	for _, r := range []string{"r0", "r1"} {
+		c.AddRack(r, 1000, simtime.Ms(1))
+		for _, n := range []string{"a", "b"} {
+			c.AddNodeOnRack(r, r+n, 1, 1000).Slots = 2
+		}
+	}
+	return c
+}
+
+func TestPlaceInstancesNoPolicyIsNoOp(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := policyCluster(s)
+	c.PlaceInstances("op", 0, 4)
+	if c.NodeOf(ep("op", 0)).Name != "local" {
+		t.Fatal("without a policy, instances must stay on the default node")
+	}
+	if c.PolicyName() != "" {
+		t.Fatal("no policy installed")
+	}
+}
+
+func TestSpreadMatchesRoundRobin(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("n1", 1, 0)
+	c.AddNode("n2", 1, 0)
+	c.SetPolicy(PolicyByName("spread"))
+	c.PlaceInstances("op", 0, 6)
+	for i := 0; i < 6; i++ {
+		want := c.Nodes()[i%3]
+		if got := c.NodeOf(ep("op", i)).Name; got != want {
+			t.Fatalf("spread placed op[%d] on %s, want %s (PlaceRoundRobin parity)", i, got, want)
+		}
+	}
+}
+
+func TestSpreadSkipsFullNodes(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := policyCluster(s)
+	c.Node("local").Slots = 1
+	c.Place(ep("other", 0), "local") // local is now full
+	c.SetPolicy(SpreadPolicy{})
+	c.PlaceInstances("op", 0, 1)
+	if got := c.NodeOf(ep("op", 0)).Name; got != "r0a" {
+		t.Fatalf("spread placed op[0] on full node path: %s", got)
+	}
+}
+
+func TestPackFillsInOrder(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := policyCluster(s)
+	c.Node("local").Slots = 1
+	c.SetPolicy(PolicyByName("pack"))
+	c.PlaceInstances("op", 0, 5)
+	want := []string{"local", "r0a", "r0a", "r0b", "r0b"}
+	for i, w := range want {
+		if got := c.NodeOf(ep("op", i)).Name; got != w {
+			t.Fatalf("pack placed op[%d] on %s, want %s", i, got, w)
+		}
+	}
+	// All slots full (local 1 + 4×2 = 9): overflow degrades to least-used.
+	c.PlaceInstances("op", 5, 10)
+	if got := c.NodeOf(ep("op", 9)).Name; got == "" {
+		t.Fatal("pack must always place")
+	}
+	if c.Used("local") != 2 {
+		t.Fatalf("overflow should revisit the least-used node first, local=%d", c.Used("local"))
+	}
+}
+
+func TestRackLocalPrefersOperatorRacks(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := policyCluster(s)
+	// The operator already lives on rack r1.
+	c.Place(ep("op", 0), "r1a")
+	c.SetPolicy(PolicyByName("rack-local"))
+	c.PlaceInstances("op", 1, 3)
+	for i := 1; i < 3; i++ {
+		if rack := c.NodeOf(ep("op", i)).Rack; rack != "r1" {
+			t.Fatalf("rack-local placed op[%d] on rack %q, want r1", i, rack)
+		}
+	}
+	// r1 is full (r1a: 2, r1b: 2 would be after one more)… fill it, then the
+	// next instance must spill outside without failing.
+	c.PlaceInstances("op", 3, 4)
+	if rack := c.NodeOf(ep("op", 3)).Rack; rack != "r1" {
+		t.Fatalf("op[3] should still fit on r1, got %q", rack)
+	}
+	c.PlaceInstances("op", 4, 5)
+	if rack := c.NodeOf(ep("op", 4)).Rack; rack == "r1" {
+		t.Fatal("r1 is full; op[4] must spill to another node")
+	}
+}
+
+func TestRackLocalSeedsFirstRack(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := policyCluster(s)
+	c.SetPolicy(RackLocalPolicy{})
+	c.PlaceInstances("op", 0, 4)
+	for i := 0; i < 4; i++ {
+		if rack := c.NodeOf(ep("op", i)).Rack; rack != "r0" {
+			t.Fatalf("with no footprint, rack-local should seed the first rack; op[%d] on %q", i, rack)
+		}
+	}
+	// Within the rack, the two nodes stay balanced.
+	if c.Used("r0a") != 2 || c.Used("r0b") != 2 {
+		t.Fatalf("rack-local should balance within the rack: r0a=%d r0b=%d", c.Used("r0a"), c.Used("r0b"))
+	}
+}
+
+func TestRackLocalOnFlatClusterFallsBackToSpread(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("n1", 1, 0)
+	c.SetPolicy(RackLocalPolicy{})
+	c.PlaceInstances("op", 0, 2)
+	if c.NodeOf(ep("op", 0)).Name != "local" || c.NodeOf(ep("op", 1)).Name != "n1" {
+		t.Fatal("rack-local on a flat cluster should spread")
+	}
+}
+
+func TestUnschedulableNodeIsSkipped(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := policyCluster(s)
+	c.Node("local").Unschedulable = true
+	for _, policy := range PolicyNames() {
+		c2 := policyCluster(simtime.NewScheduler())
+		c2.Node("local").Unschedulable = true
+		c2.SetPolicy(PolicyByName(policy))
+		// 9 instances overflow the racks' 8 slots: even the least-used
+		// fallback must avoid the unschedulable node.
+		c2.PlaceInstances("op", 0, 9)
+		for i := 0; i < 9; i++ {
+			if got := c2.NodeOf(ep("op", i)).Name; got == "local" {
+				t.Fatalf("%s placed op[%d] on the unschedulable node", policy, i)
+			}
+		}
+	}
+	// Explicit placement still works.
+	c.Place(ep("pinned", 0), "local")
+	if c.NodeOf(ep("pinned", 0)).Name != "local" {
+		t.Fatal("explicit Place must bypass schedulability")
+	}
+}
+
+func TestReplaceKeepsSlotAccounting(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := policyCluster(s)
+	c.Place(ep("op", 0), "r0a")
+	c.Place(ep("op", 0), "r1a") // moved
+	if c.Used("r0a") != 0 || c.Used("r1a") != 1 {
+		t.Fatalf("re-place leaked slots: r0a=%d r1a=%d", c.Used("r0a"), c.Used("r1a"))
+	}
+}
+
+func TestPolicyByNameUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PolicyByName("bogus")
+}

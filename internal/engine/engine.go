@@ -176,9 +176,14 @@ func (rt *Runtime) edgeConfig() netsim.EdgeConfig {
 }
 
 // wire creates the physical channel for one (from-instance, to-instance)
-// pair of a stream edge.
+// pair of a stream edge. The channel's latency is derived from the cluster
+// topology path between the two instances (cross-rack hops pay both uplink
+// latencies), so placement decisions shape the data plane, not just state
+// migration.
 func (rt *Runtime) wire(from, to *Instance, se dataflow.StreamEdge) {
-	e := netsim.NewEdge(rt.Sched, from.Endpoint(), to.Endpoint(), rt.edgeConfig())
+	cfg := rt.edgeConfig()
+	cfg.Latency = rt.Cluster.LinkLatency(from.Endpoint(), to.Endpoint(), cfg.Latency)
+	e := netsim.NewEdge(rt.Sched, from.Endpoint(), to.Endpoint(), cfg)
 	e.SetReceiver(func(*netsim.Edge) { to.Wake() })
 	e.SetSenderWake(func() { from.Wake() })
 	from.addOutput(se.To, to.Index, e)

@@ -63,7 +63,9 @@ func (rt *Runtime) AddInstance(op string, idx int) *Instance {
 // aligned watermark — rerouted records are Ep-epoch stragglers, not a
 // watermarked stream of their own.
 func (rt *Runtime) ConnectInstances(src, dst *Instance) *netsim.Edge {
-	e := netsim.NewEdge(rt.Sched, src.Endpoint(), dst.Endpoint(), rt.edgeConfig())
+	cfg := rt.edgeConfig()
+	cfg.Latency = rt.Cluster.LinkLatency(src.Endpoint(), dst.Endpoint(), cfg.Latency)
+	e := netsim.NewEdge(rt.Sched, src.Endpoint(), dst.Endpoint(), cfg)
 	e.Auxiliary = true
 	e.SetReceiver(func(*netsim.Edge) { dst.Wake() })
 	e.SetSenderWake(func() { src.Wake() })

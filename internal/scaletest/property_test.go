@@ -101,6 +101,87 @@ func TestExactlyOnceProperty(t *testing.T) {
 	}
 }
 
+// TestRackUplinkByteConservation is the topology-path property sweep: under
+// every placement policy, a scaled run on a racked cluster must stay
+// exactly-once-correct, and its migration byte accounting must balance —
+// every byte leaving a rack uplink arrives at exactly one other rack, and
+// uplinks never carry more than the nodes sent.
+func TestRackUplinkByteConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a baseline plus one scaled run per placement policy")
+	}
+	wl := DefaultWorkload(42)
+	base := Run{Workload: wl}.Execute()
+	for _, policy := range []string{"spread", "pack", "rack-local"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			res := Run{
+				Workload:       wl,
+				Mechanism:      core.New(core.FullDRRS()),
+				ScaleAt:        simtime.Sec(1),
+				NewParallelism: 6,
+				Cluster:        RackCluster(2, 2, 1<<20, 2<<20, 3, policy),
+			}.Execute()
+			if !res.Done {
+				t.Fatal("scaling never completed")
+			}
+			if msg := CheckExactlyOnce(base, res); msg != "" {
+				t.Fatal(msg)
+			}
+			if msg := CheckPlacement(res); msg != "" {
+				t.Fatal(msg)
+			}
+			cl := res.RT.Cluster
+			var in int64
+			for _, r := range cl.Racks() {
+				in += cl.Rack(r).InBytes
+			}
+			out := cl.CrossRackBytes()
+			if out != in {
+				t.Fatalf("uplink bytes not conserved: out %d vs in %d", out, in)
+			}
+			total := cl.TransferredBytes()
+			if total <= 0 {
+				t.Fatal("migration moved no bytes")
+			}
+			if out > total {
+				t.Fatalf("uplinks carried %d bytes but nodes only sent %d", out, total)
+			}
+			// The 3-slot nodes cannot hold agg's 6 instances plus sources and
+			// sink on one rack, so every policy must produce some cross-rack
+			// state transfer here.
+			if out == 0 {
+				t.Fatal("expected cross-rack migration traffic on this layout")
+			}
+		})
+	}
+}
+
+// TestRackClusterDeterministicReplay extends the replay guard to the
+// topology path: same seed, same rack cluster ⇒ identical results and
+// identical byte accounting.
+func TestRackClusterDeterministicReplay(t *testing.T) {
+	run := func() (int, float64, int64, int64) {
+		res := Run{
+			Workload:       DefaultWorkload(7),
+			Mechanism:      core.New(core.FullDRRS()),
+			ScaleAt:        simtime.Sec(1),
+			NewParallelism: 6,
+			Cluster:        RackCluster(2, 2, 1<<20, 2<<20, 3, "rack-local"),
+		}.Execute()
+		var sum float64
+		for _, v := range res.Sink.ByKey {
+			sum += v
+		}
+		return res.Sink.Records, sum, res.RT.Cluster.TransferredBytes(), res.RT.Cluster.CrossRackBytes()
+	}
+	r1, s1, t1, x1 := run()
+	r2, s2, t2, x2 := run()
+	if r1 != r2 || s1 != s2 || t1 != t2 || x1 != x2 {
+		t.Fatalf("replay diverged: (%d, %v, %d, %d) vs (%d, %v, %d, %d)", r1, s1, t1, x1, r2, s2, t2, x2)
+	}
+}
+
 // TestDeterministicReplay asserts the simulator's core promise: identical
 // configuration ⇒ bit-identical outcome, for a protocol-heavy mechanism.
 func TestDeterministicReplay(t *testing.T) {

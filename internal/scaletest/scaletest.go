@@ -58,6 +58,11 @@ func (r Run) Execute() Result {
 	var cl *cluster.Cluster
 	if r.Cluster != nil {
 		cl = r.Cluster(s)
+		// Initial deployment through the cluster's placement policy (no-op
+		// without one); scale-out instances are placed by scaling.Deploy.
+		for _, op := range g.Topological() {
+			cl.PlaceInstances(op, 0, g.Operator(op).Parallelism)
+		}
 	}
 	cfg := r.Engine
 	cfg.Seed = r.Workload.Seed
@@ -148,6 +153,27 @@ func CheckParticipation(res Result) string {
 		}
 	}
 	return ""
+}
+
+// RackCluster returns a factory for a racks×nodesPerRack topology test
+// cluster: per-node migration bandwidth nodeBW, shared per-rack uplinks at
+// uplinkBW with 1 ms uplink latency, slots instance slots per node, and the
+// named placement policy installed. The default "local" node is marked
+// unschedulable so policies place every instance on the rack fabric.
+func RackCluster(racks, nodesPerRack int, nodeBW, uplinkBW float64, slots int, policy string) func(*simtime.Scheduler) *cluster.Cluster {
+	return func(s *simtime.Scheduler) *cluster.Cluster {
+		c := cluster.New(s)
+		c.Node("local").Unschedulable = true
+		for r := 0; r < racks; r++ {
+			rack := fmt.Sprintf("rack%d", r)
+			c.AddRack(rack, uplinkBW, simtime.Ms(1))
+			for n := 0; n < nodesPerRack; n++ {
+				c.AddNodeOnRack(rack, fmt.Sprintf("%s-n%d", rack, n), 1, nodeBW).Slots = slots
+			}
+		}
+		c.SetPolicy(cluster.PolicyByName(policy))
+		return c
+	}
 }
 
 // SlowMigrationCluster returns a cluster factory whose single node has the

@@ -122,12 +122,15 @@ type Mechanism interface {
 }
 
 // Deploy performs the physical half of scaling shared by every mechanism:
-// after plan.SetupDelay (resource initialization), it creates the new
-// instances, wires them, and hands them to then. It also marks the scale
-// start in the runtime's metrics.
+// after plan.SetupDelay (resource initialization), it places the new
+// instances through the cluster's placement policy (rack-local scale-out vs
+// spread is decided here, before wiring, so channel latencies reflect the
+// topology path), creates them, wires them, and hands them to then. It also
+// marks the scale start in the runtime's metrics.
 func Deploy(rt *engine.Runtime, plan Plan, then func(added []*engine.Instance)) {
 	rt.Scale.MarkScaleStart(rt.Sched.Now())
 	rt.Sched.After(plan.SetupDelay, func() {
+		rt.Cluster.PlaceInstances(plan.Operator, plan.OldParallelism, plan.NewParallelism)
 		var added []*engine.Instance
 		for idx := plan.OldParallelism; idx < plan.NewParallelism; idx++ {
 			added = append(added, rt.AddInstance(plan.Operator, idx))

@@ -58,6 +58,7 @@ func (m *Mechanism) restart(rt *engine.Runtime, plan scaling.Plan, signal string
 	restore := plan.SetupDelay +
 		simtime.Duration(float64(totalState)/m.RestoreBytesPerSec*float64(simtime.Second))
 	rt.Sched.After(restore, func() {
+		rt.Cluster.PlaceInstances(plan.Operator, plan.OldParallelism, plan.NewParallelism)
 		for idx := plan.OldParallelism; idx < plan.NewParallelism; idx++ {
 			rt.AddInstance(plan.Operator, idx)
 		}
