@@ -1,9 +1,9 @@
 // Command benchgate is the benchmark-regression gate: it parses `go test
 // -bench` output (stdin or -input), compares every benchmark that appears in
-// the checked-in baseline, and exits non-zero when ns/op or allocs/op
-// regresses beyond the threshold. CI runs it instead of fire-and-forget
-// smoke benches, so hot-path regressions fail the build instead of scrolling
-// past.
+// the checked-in baseline, and exits non-zero when ns/op, allocs/op, or
+// B/op regresses beyond the threshold. CI runs it instead of
+// fire-and-forget smoke benches, so hot-path regressions fail the build
+// instead of scrolling past.
 //
 // Usage:
 //
@@ -11,11 +11,12 @@
 //	benchgate -baseline bench_baseline.json -input bench.txt
 //	go test -run '^$' -bench . -benchmem ./... | benchgate -baseline bench_baseline.json -update
 //
-// The baseline records ns/op and allocs/op per benchmark plus a global
-// regression threshold (fraction; 0.15 = fail beyond +15%). ns/op is
+// The baseline records ns/op, allocs/op, and B/op per benchmark plus a
+// global regression threshold (fraction; 0.15 = fail beyond +15%). ns/op is
 // machine-dependent — regenerate the baseline with -update when the CI
-// runner class changes. allocs/op is exact, so a zero-alloc baseline fails
-// on the first allocation that sneaks back in.
+// runner class changes. allocs/op and B/op are exact, so a zero-alloc
+// baseline fails on the first allocation that sneaks back in. A negative
+// (or absent) metric in the baseline is not gated for that benchmark.
 package main
 
 import (
@@ -39,10 +40,25 @@ type Baseline struct {
 	Benchmarks map[string]*Benchmark `json:"benchmarks"`
 }
 
-// Benchmark is one benchmark's reference numbers.
+// Benchmark is one benchmark's reference numbers. A negative value means
+// the metric is not gated for that benchmark; metrics absent from the
+// baseline JSON decode as ungated rather than as a zero budget.
 type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// UnmarshalJSON defaults missing metrics to -1 (ungated), so baselines
+// written before a metric existed keep gating exactly what they recorded.
+func (b *Benchmark) UnmarshalJSON(data []byte) error {
+	type alias Benchmark
+	a := alias{NsPerOp: -1, AllocsPerOp: -1, BytesPerOp: -1}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*b = Benchmark(a)
+	return nil
 }
 
 func main() {
@@ -108,6 +124,15 @@ func main() {
 			if want < 0 {
 				return // metric not gated for this benchmark
 			}
+			if got < 0 {
+				// A gated metric missing from the input means the bench step
+				// lost its flag (e.g. -benchmem): passing silently would
+				// defeat the gate exactly when it matters.
+				failures = append(failures, fmt.Sprintf("%s %s: gated by the baseline but absent from the input (missing -benchmem?)",
+					name, metric))
+				fmt.Printf("%-34s %-12s %14s  baseline %14.4g  FAIL\n", name, metric, "missing", want)
+				return
+			}
 			allowed := want * (1 + limit)
 			status := "ok"
 			if got > allowed {
@@ -119,6 +144,7 @@ func main() {
 		}
 		check("ns/op", got.NsPerOp, want.NsPerOp)
 		check("allocs/op", got.AllocsPerOp, want.AllocsPerOp)
+		check("B/op", got.BytesPerOp, want.BytesPerOp)
 	}
 	if compared == 0 {
 		fatalf("none of the %d baseline benchmarks appeared in the input", len(base.Benchmarks))
@@ -151,7 +177,7 @@ func parseBench(r io.Reader) (map[string]*Benchmark, error) {
 				name = name[:i]
 			}
 		}
-		b := &Benchmark{NsPerOp: -1, AllocsPerOp: -1}
+		b := &Benchmark{NsPerOp: -1, AllocsPerOp: -1, BytesPerOp: -1}
 		// Lines read "<name> <N> <value> <unit> <value> <unit> ...".
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -163,9 +189,11 @@ func parseBench(r io.Reader) (map[string]*Benchmark, error) {
 				b.NsPerOp = v
 			case "allocs/op":
 				b.AllocsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
 			}
 		}
-		if b.NsPerOp < 0 && b.AllocsPerOp < 0 {
+		if b.NsPerOp < 0 && b.AllocsPerOp < 0 && b.BytesPerOp < 0 {
 			continue
 		}
 		if prev, ok := out[name]; ok {
@@ -174,6 +202,9 @@ func parseBench(r io.Reader) (map[string]*Benchmark, error) {
 			}
 			if b.AllocsPerOp >= 0 && (prev.AllocsPerOp < 0 || b.AllocsPerOp < prev.AllocsPerOp) {
 				prev.AllocsPerOp = b.AllocsPerOp
+			}
+			if b.BytesPerOp >= 0 && (prev.BytesPerOp < 0 || b.BytesPerOp < prev.BytesPerOp) {
+				prev.BytesPerOp = b.BytesPerOp
 			}
 			continue
 		}

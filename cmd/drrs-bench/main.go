@@ -12,6 +12,7 @@
 //	drrs-bench -experiment topology -workload rack-skew
 //	drrs-bench -experiment multiwave -workload bigcluster-128 -topology rack8x16
 //	drrs-bench -experiment all -parallel 8 -perf BENCH.json
+//	drrs-bench -experiment fig15 -parallel 1 -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: fig2, fig10 (also emits Figs 11–13 from the same runs),
 // fig14, fig15, multiwave, sweep, topology (rack-local vs spread placement),
@@ -24,7 +25,9 @@
 // -parallel goroutines (default GOMAXPROCS; 1 forces sequential). Every
 // simulation is single-threaded and seeded, so figure numbers are identical
 // at any parallelism. -perf writes a machine-readable JSON record of wall
-// time and simulated events per figure.
+// time and simulated events per figure. -cpuprofile/-memprofile capture
+// pprof profiles of the whole run (use -parallel 1 so samples attribute to
+// one simulation at a time); EXPERIMENTS.md documents the workflow.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -68,6 +72,8 @@ func main() {
 	topology := flag.String("topology", "", "override every run's cluster: "+strings.Join(bench.Topologies(), " | "))
 	placement := flag.String("placement", "", "override every run's placement policy: spread | pack | rack-local")
 	perfOut := flag.String("perf", "", "write a JSON perf record (wall time, events/sec per figure) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
@@ -85,6 +91,16 @@ func main() {
 	}
 	if *seeds < 1 {
 		fmt.Fprintf(os.Stderr, "drrs-bench: -seeds must be >= 1 (got %d): every figure needs at least one run per configuration\n", *seeds)
+		os.Exit(2)
+	}
+	switch *experiment {
+	case "fig2", "fig10", "fig14", "fig15", "multiwave", "sweep", "topology", "ablation", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if *workloadName != "all" && len(splitList(*workloadName)) == 0 {
+		fmt.Fprintf(os.Stderr, "drrs-bench: -workload %q selects no scenarios\n", *workloadName)
 		os.Exit(2)
 	}
 	if *experiment == "topology" && *placement != "" {
@@ -121,6 +137,59 @@ func main() {
 				}
 			}()
 			bench.Mechanisms(m)
+		}()
+	}
+
+	// Profiling setup runs after every usage-error exit above, and once it
+	// has started, nothing may call os.Exit directly: the deferred chain
+	// must unwind so profiles are flushed. Run order at exit (LIFO): perf
+	// record, CPU-profile stop, exit-time heap dump, then exitCode —
+	// registered first so it runs last.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		// Create/start before any flush defer is registered, so these two
+		// usage-style exits cannot skip a pending flush.
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drrs-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "drrs-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "drrs-bench: -memprofile: %v\n", err)
+				exitCode = 1
+				return
+			}
+			runtime.GC() // report live + cumulative allocations accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "drrs-bench: -memprofile: %v\n", err)
+				exitCode = 1
+				f.Close()
+				return
+			}
+			f.Close()
+			fmt.Printf("allocation profile written to %s\n", *memProfile)
+		}()
+	}
+	if cpuFile != nil {
+		defer func() {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Printf("cpu profile written to %s\n", *cpuProfile)
 		}()
 	}
 
@@ -164,7 +233,8 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "drrs-bench: writing perf record: %v\n", err)
-			os.Exit(1)
+			exitCode = 1
+			return
 		}
 		fmt.Printf("perf record written to %s\n", *perfOut)
 	}()
@@ -222,8 +292,9 @@ func main() {
 			return res
 		})
 	default:
+		// Unreachable: experiment names are validated before profiling starts.
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		exitCode = 2
 	}
 }
 

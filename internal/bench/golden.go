@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"math"
+
+	"drrs/internal/metrics"
+)
+
+// OutcomeDigest folds everything semantically observable about a run into one
+// 64-bit FNV-1a hash: record counts, the full latency and throughput series,
+// the scaling timeline, migration byte accounting, and every wave's
+// delay-accounting metrics. Perf refactors must keep the digest bit-for-bit
+// stable at a fixed seed; golden_test.go pins the values for the twitch and
+// bigcluster-128 scenarios.
+//
+// Deliberately excluded: Outcome.Events (raw scheduler event counts) and
+// anything wall-clock. Those describe how much work the simulator did, not
+// what the simulated system did — batching and event-coalescing optimizations
+// are allowed to change them.
+func OutcomeDigest(o Outcome) uint64 {
+	h := newDigest()
+	h.str(o.Mechanism)
+	h.i64(o.Seed)
+	h.b(o.Done)
+	h.i64(int64(o.ScaleAt))
+	h.i64(int64(o.EndAt))
+	h.i64(int64(o.StabilizedAt))
+	h.b(o.Stabilized)
+	h.f64(o.PreAvgMs)
+	h.i64(o.Throughput.Total())
+	h.i64(o.TransferredBytes)
+	h.i64(o.CrossRackBytes)
+	h.series(o.Latency.Series)
+	h.series(o.Throughput.Series())
+	h.i64(int64(len(o.Waves)))
+	for i := range o.Waves {
+		w := &o.Waves[i]
+		h.i64(int64(w.FromParallelism))
+		h.i64(int64(w.Wave.NewParallelism))
+		h.i64(int64(w.ScaleAt))
+		h.b(w.Done)
+		h.i64(int64(w.DoneAt))
+		h.i64(int64(w.StabilizedAt))
+		h.b(w.Stabilized)
+		if w.Scale != nil {
+			h.i64(int64(w.Scale.CumulativeSuspension()))
+			h.i64(int64(w.Scale.CumulativePropagationDelay()))
+			h.i64(int64(w.Scale.AvgDependencyOverhead()))
+			h.i64(int64(w.Scale.MigrationDuration()))
+			h.i64(int64(w.Scale.UnitsMigrated()))
+			h.series(w.Scale.SuspensionCurve())
+		}
+	}
+	if len(o.Waves) == 0 && o.Scale != nil {
+		h.i64(int64(o.Scale.CumulativeSuspension()))
+		h.i64(int64(o.Scale.UnitsMigrated()))
+	}
+	return h.sum
+}
+
+// digest is a tiny FNV-1a accumulator; math/hash imports stay out of the hot
+// simulation packages.
+type digest struct{ sum uint64 }
+
+func newDigest() *digest { return &digest{sum: 1469598103934665603} }
+
+func (d *digest) byte(b byte) {
+	d.sum ^= uint64(b)
+	d.sum *= 1099511628211
+}
+
+func (d *digest) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (d *digest) i64(v int64)   { d.u64(uint64(v)) }
+func (d *digest) f64(v float64) { d.u64(math.Float64bits(v)) }
+
+func (d *digest) b(v bool) {
+	if v {
+		d.byte(1)
+	} else {
+		d.byte(0)
+	}
+}
+
+func (d *digest) str(s string) {
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+	d.byte(0)
+}
+
+func (d *digest) series(s *metrics.Series) {
+	pts := s.Points()
+	d.i64(int64(len(pts)))
+	for _, p := range pts {
+		d.i64(int64(p.At))
+		d.f64(p.V)
+	}
+}

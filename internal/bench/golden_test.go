@@ -1,0 +1,59 @@
+package bench
+
+import "testing"
+
+// goldenDigests pins the OutcomeDigest of fixed-seed runs. The values were
+// recorded on the boxed (pre-slab, timer-per-record) data plane and must
+// survive every perf refactor unchanged: same latency curve sample for
+// sample, same throughput buckets, same migration byte accounting, same
+// per-wave scaling metrics. A mismatch means an optimization changed what
+// the simulated system *does*, not just how fast the simulator runs —
+// rerecord only with a semantic change you can defend in review.
+//
+// Raw scheduler event counts are deliberately outside the digest (see
+// OutcomeDigest): wake coalescing and batched emission may change them.
+var goldenDigests = []struct {
+	scenario string
+	mech     string
+	seed     int64
+	want     uint64
+}{
+	{"twitch", "drrs", 7, 0x79187e882232338c},
+	{"twitch", "no-scale", 7, 0xe14e359c8c083a1d},
+	{"bigcluster-128", "drrs", 3, 0xc0ecb820c15b5e67},
+}
+
+// TestGoldenDigests replays each pinned scenario and compares the digest.
+// twitch covers the seven-operator pipeline end to end (typed payloads
+// through keyed reduce, map filters, markers, and a full DRRS scaling
+// operation); bigcluster-128 covers the batched workload generator, the
+// rack fabric's byte accounting, and 256→320-instance migration.
+func TestGoldenDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs simulate a few hundred virtual seconds")
+	}
+	for _, c := range goldenDigests {
+		c := c
+		t.Run(c.scenario+"/"+c.mech, func(t *testing.T) {
+			o := ScenarioByName(c.scenario, c.seed).Run(Mechanisms(c.mech))
+			if got := OutcomeDigest(o); got != c.want {
+				t.Errorf("outcome digest 0x%016x, want 0x%016x — the refactor changed simulation semantics",
+					got, c.want)
+			}
+		})
+	}
+}
+
+// TestOutcomeDigestSensitivity guards the digest itself: different seeds
+// (and different mechanisms) must not collide, or the golden test would
+// wave through regressions.
+func TestOutcomeDigestSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("digest sensitivity simulates two scenario runs")
+	}
+	a := OutcomeDigest(TwitchScenario(7).Run(nil))
+	b := OutcomeDigest(TwitchScenario(8).Run(nil))
+	if a == b {
+		t.Fatal("digest ignored the seed")
+	}
+}

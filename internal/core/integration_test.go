@@ -29,7 +29,7 @@ func fig9Job(t *testing.T, burst int, inCap, outCap int) (*simtime.Scheduler, *e
 					Key:       uint64(i) + 1,
 					EventTime: ctx.Now(),
 					Size:      64,
-					Data:      1.0,
+					Value:     1.0,
 				})
 			}
 		},
@@ -200,7 +200,7 @@ func TestSupersession(t *testing.T) {
 	for _, in := range rt.Instances("agg") {
 		for _, kg := range in.Store().Groups() {
 			want := state.OwnerOf(spec.MaxKeyGroups, 8, kg)
-			if want != in.Index && len(in.Store().Group(kg).Entries) > 0 {
+			if want != in.Index && in.Store().Group(kg).Len() > 0 {
 				t.Fatalf("kg %d at %s, want instance %d", kg, in.Name(), want)
 			}
 		}

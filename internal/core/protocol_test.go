@@ -32,7 +32,7 @@ func newProtoRig(t *testing.T, burst int) *protoRig {
 		Source: func(ctx dataflow.SourceContext) {
 			for i := 0; i < burst; i++ {
 				ctx.Ingest(&netsim.Record{
-					Key: uint64(i) + 1, EventTime: ctx.Now(), Size: 64, Data: 1.0,
+					Key: uint64(i) + 1, EventTime: ctx.Now(), Size: 64, Value: 1.0,
 				})
 			}
 		},

@@ -66,6 +66,15 @@ type Logic interface {
 	OnWatermark(ctx OpContext, wm simtime.Time)
 }
 
+// Binder is an optional Logic extension: when a logic also implements
+// Binder, the engine calls Bind exactly once, when the logic is attached to
+// its instance and before any record flows. It is the place to resolve
+// per-instance capabilities (e.g. the pooled-record allocator) so that
+// capability checks stay off the per-record path.
+type Binder interface {
+	Bind(ctx OpContext)
+}
+
 // SourceFunc drives a source instance: it is called once at start and
 // schedules its own emissions via the provided context.
 type SourceFunc func(ctx SourceContext)
@@ -89,6 +98,17 @@ type SourceContext interface {
 	InstanceIndex() int
 	// BacklogLen reports records ingested but not yet emitted.
 	BacklogLen() int
+}
+
+// SourcePump is an optional SourceContext capability (engine sources
+// implement it): IngestNow stamps and enqueues r like Ingest, then
+// synchronously drains the source's backlog instead of scheduling a
+// zero-delay wake event. Batched generators resolve it once at start; the
+// emitted stream is identical to the Ingest path — records still leave in
+// backlog order, respect backpressure, and honour data pauses — but a
+// drained record costs one scheduler event instead of two.
+type SourcePump interface {
+	IngestNow(r *netsim.Record)
 }
 
 // OperatorSpec describes one operator of the job graph.

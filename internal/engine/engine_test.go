@@ -22,7 +22,7 @@ func fixedRateSource(n int, period simtime.Duration, keySpace uint64) dataflow.S
 				Key:       uint64(i)%keySpace + 1,
 				EventTime: ctx.Now(),
 				Size:      64,
-				Data:      1.0,
+				Value:     1.0,
 			})
 			if i%10 == 9 {
 				ctx.EmitWatermark(ctx.Now())
@@ -80,7 +80,7 @@ func TestKeyedRoutingPartitionsByKeyGroup(t *testing.T) {
 		st := in.Store()
 		for _, kg := range st.Groups() {
 			g := st.Group(kg)
-			for k := range g.Entries {
+			for _, k := range g.Keys() {
 				if got := kgOf(k, 32); got != kg {
 					t.Fatalf("key %d in group %d, hashes to %d", k, kg, got)
 				}
@@ -223,7 +223,7 @@ func TestSlidingWindowFires(t *testing.T) {
 				}
 				ctx.Ingest(&netsim.Record{
 					Key: uint64(i%4) + 1, EventTime: ctx.Now(),
-					Size: 64, Data: float64(i),
+					Size: 64, Value: float64(i),
 				})
 				ctx.EmitWatermark(ctx.Now() - simtime.Time(simtime.Ms(1)))
 				ctx.After(simtime.Ms(10), func() { tick(i + 1) })

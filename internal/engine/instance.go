@@ -128,6 +128,9 @@ func (rt *Runtime) newInstance(spec *dataflow.OperatorSpec, idx int) *Instance {
 	in.store = state.NewStore(maxKG)
 	if spec.NewLogic != nil {
 		in.logic = spec.NewLogic()
+		if b, ok := in.logic.(dataflow.Binder); ok {
+			b.Bind(in)
+		}
 	}
 	in.handler = &NativeHandler{}
 	in.stepFn = in.step
@@ -218,15 +221,17 @@ func (in *Instance) Wake() {
 
 func (in *Instance) step() {
 	in.wakeQueued = false
+	if in.Spec.Source != nil {
+		// Sources share one gate-and-drain path with dataflow.SourcePump, so
+		// timer-driven and batched ingestion can never diverge.
+		in.pumpBacklog()
+		return
+	}
 	if in.Halted || in.busy {
 		return
 	}
 	if len(in.pending) > 0 && !in.drainPending() {
 		return // blocked on output; edge wake will retry
-	}
-	if in.Spec.Source != nil {
-		in.drainBacklog()
-		return
 	}
 	msg, edge, st := in.handler.Next(in)
 	switch st {
@@ -627,6 +632,13 @@ func (c sourceContext) After(d simtime.Duration, fn func()) {
 	c.in.rt.Sched.After(d, fn)
 }
 func (c sourceContext) Ingest(r *netsim.Record) { c.in.ingest(r) }
+
+// IngestNow implements dataflow.SourcePump: same stamping and enqueueing as
+// Ingest, but the backlog drains synchronously instead of via a wake event.
+func (c sourceContext) IngestNow(r *netsim.Record) {
+	c.in.enqueueIngest(r)
+	c.in.pumpBacklog()
+}
 func (c sourceContext) NewRecord() *netsim.Record {
 	return c.in.rt.recPool.Get()
 }
@@ -642,6 +654,13 @@ func (in *Instance) startSource() {
 }
 
 func (in *Instance) ingest(r *netsim.Record) {
+	in.enqueueIngest(r)
+	in.Wake()
+}
+
+// enqueueIngest is the shared stamp-and-enqueue half of Ingest/IngestNow;
+// the two paths differ only in how the backlog then drains.
+func (in *Instance) enqueueIngest(r *netsim.Record) {
 	if r.IngestTime == 0 {
 		r.IngestTime = in.rt.Sched.Now()
 	}
@@ -649,7 +668,20 @@ func (in *Instance) ingest(r *netsim.Record) {
 		r.Seq = in.rt.NextSeq()
 	}
 	in.backlog.PushBack(r)
-	in.Wake()
+}
+
+// pumpBacklog is the synchronous drain behind dataflow.SourcePump: the same
+// gates step applies to a source (halted, mid-snapshot, blocked pending
+// emissions), then a full backlog drain — without the zero-delay wake event
+// a Wake would cost per record.
+func (in *Instance) pumpBacklog() {
+	if in.Halted || in.busy {
+		return
+	}
+	if len(in.pending) > 0 && !in.drainPending() {
+		return // blocked on output; edge wake will retry
+	}
+	in.drainBacklog()
 }
 
 // drainBacklog emits queued source messages until backpressure bites (or the

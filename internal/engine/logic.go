@@ -13,72 +13,82 @@ import (
 // event-time sliding windows, a windowed two-stream join, and collector
 // sinks. These are the building blocks of the NEXMark, Twitch, and custom
 // workloads.
+//
+// All of it runs on the typed record payload (Record.Value) and the state
+// backend's float64 fast lane, so the steady-state record path performs no
+// interface boxing.
+
+// recordAllocator resolves how a logic draws output records: from the
+// engine's recycling pool when the context provides one (Instance does),
+// falling back to plain allocation so logic stays usable against test fakes.
+// Resolved once per operator bind — not per emit.
+func recordAllocator(ctx dataflow.OpContext) func() *netsim.Record {
+	if p, ok := ctx.(interface{ NewRecord() *netsim.Record }); ok {
+		return p.NewRecord
+	}
+	return func() *netsim.Record { return &netsim.Record{} }
+}
+
+// recEmitter is the embeddable half of every emitting logic: it caches the
+// resolved allocator so the capability check runs once per operator bind
+// (dataflow.Binder), with a lazy fallback for plain test-fake contexts.
+type recEmitter struct {
+	newRec func() *netsim.Record
+}
+
+// Bind implements dataflow.Binder.
+func (e *recEmitter) Bind(ctx dataflow.OpContext) { e.newRec = recordAllocator(ctx) }
+
+func (e *recEmitter) rec(ctx dataflow.OpContext) *netsim.Record {
+	if e.newRec == nil {
+		e.Bind(ctx) // unbound context (plain test fake): resolve lazily, once
+	}
+	return e.newRec()
+}
 
 // KeyedReduceLogic maintains a per-key float64 accumulator and emits the
 // updated value per record. StateBytes is the accounted size per key
 // (the custom workload's "state size" knob).
 type KeyedReduceLogic struct {
-	// Reduce folds a record's value into the accumulator (default: sum).
+	// Reduce folds a record's value into the accumulator (default: sum of
+	// Record.Value).
 	Reduce func(acc float64, r *netsim.Record) float64
 	// StateBytes is the per-key accounted state size (default 64).
 	StateBytes int
 	// EmitUpdates controls whether each update is emitted downstream.
 	EmitUpdates bool
+
+	recEmitter
 }
 
 // OnRecord implements dataflow.Logic.
 func (l *KeyedReduceLogic) OnRecord(ctx dataflow.OpContext, r *netsim.Record) {
-	acc := 0.0
-	if v, ok := ctx.State().Get(r.Key); ok {
-		acc = v.(float64)
-	}
+	st := ctx.State()
+	acc, _ := st.GetF64(r.Key)
 	if l.Reduce != nil {
 		acc = l.Reduce(acc, r)
 	} else {
-		acc += recordValue(r)
+		acc += r.Value
 	}
 	sb := l.StateBytes
 	if sb <= 0 {
 		sb = 64
 	}
-	ctx.State().Put(r.Key, acc, sb)
+	st.PutF64(r.Key, acc, sb)
 	if l.EmitUpdates {
-		out := newRecord(ctx)
+		out := l.rec(ctx)
 		out.Key = r.Key
 		out.EventTime = r.EventTime
 		out.IngestTime = r.IngestTime
 		out.Seq = r.Seq
 		out.Size = 32
-		out.Data = acc
+		out.Value = acc
 		ctx.Emit(out)
 	}
 }
 
 // OnWatermark implements dataflow.Logic.
 func (l *KeyedReduceLogic) OnWatermark(dataflow.OpContext, simtime.Time) {}
-
-// newRecord draws an output record from the engine's recycling pool when the
-// context provides one (Instance does); plain contexts fall back to
-// allocation, so logic stays usable against test fakes.
-func newRecord(ctx dataflow.OpContext) *netsim.Record {
-	if p, ok := ctx.(interface{ NewRecord() *netsim.Record }); ok {
-		return p.NewRecord()
-	}
-	return &netsim.Record{}
-}
-
-func recordValue(r *netsim.Record) float64 {
-	switch v := r.Data.(type) {
-	case float64:
-		return v
-	case int:
-		return float64(v)
-	case int64:
-		return float64(v)
-	default:
-		return 1
-	}
-}
 
 // windowPane is the per-key buffer of one sliding-window state value.
 type windowPane struct {
@@ -106,15 +116,23 @@ type SlidingWindowLogic struct {
 
 	lastFired simtime.Time
 	inited    bool
+
+	recEmitter
+	// Reusable scratch buffers keep window firing allocation-free in steady
+	// state (one fire touches every key of every local group).
+	keyScratch []uint64
+	valScratch []float64
 }
 
 // OnRecord implements dataflow.Logic.
 func (l *SlidingWindowLogic) OnRecord(ctx dataflow.OpContext, r *netsim.Record) {
-	pane := &windowPane{}
+	var pane *windowPane
 	if v, ok := ctx.State().Get(r.Key); ok {
 		pane = v.(*windowPane)
+	} else {
+		pane = &windowPane{}
 	}
-	pane.Values = append(pane.Values, paneEntry{At: r.EventTime, V: recordValue(r)})
+	pane.Values = append(pane.Values, paneEntry{At: r.EventTime, V: r.Value})
 	bpe := l.BytesPerEntry
 	if bpe <= 0 {
 		bpe = 24
@@ -172,8 +190,8 @@ func candidateEnds(ctx dataflow.OpContext, first, wm simtime.Time, slide, size s
 		}
 	}
 	for _, kg := range st.Groups() {
-		for _, e := range st.Group(kg).Entries {
-			switch v := e.Value.(type) {
+		st.Group(kg).ForEach(func(_ uint64, value any, _ int) {
+			switch v := value.(type) {
 			case *windowPane:
 				for _, pe := range v.Values {
 					addEntry(pe.At)
@@ -186,7 +204,7 @@ func candidateEnds(ctx dataflow.OpContext, first, wm simtime.Time, slide, size s
 					addEntry(pe.At)
 				}
 			}
-		}
+		})
 	}
 	out := make([]simtime.Time, 0, len(ends))
 	for e := range ends {
@@ -204,20 +222,29 @@ func nextSlideEnd(after simtime.Time, slide simtime.Duration) simtime.Time {
 	return simtime.Time(n * int64(slide))
 }
 
+// sortedGroupKeys fills scratch with the group's keys in ascending order
+// (window firing iterates keys deterministically and emission order is part
+// of the engine's observable behaviour).
+func sortedGroupKeys(g *state.Group, scratch []uint64) []uint64 {
+	keys := g.AppendKeys(scratch[:0])
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 func (l *SlidingWindowLogic) fireWindow(ctx dataflow.OpContext, end simtime.Time) {
 	start := end.Add(-l.Size)
 	st := ctx.State()
+	bpe := l.BytesPerEntry
+	if bpe <= 0 {
+		bpe = 24
+	}
 	for _, kg := range st.Groups() {
 		g := st.Group(kg)
-		// Iterate keys deterministically.
-		keys := make([]uint64, 0, len(g.Entries))
-		for k := range g.Entries {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, key := range keys {
-			pane := g.Entries[key].Value.(*windowPane)
-			var vals []float64
+		l.keyScratch = sortedGroupKeys(g, l.keyScratch)
+		for _, key := range l.keyScratch {
+			v, _ := g.Get(key)
+			pane := v.(*windowPane)
+			vals := l.valScratch[:0]
 			kept := pane.Values[:0]
 			for _, pe := range pane.Values {
 				if pe.At >= start && pe.At < end {
@@ -229,10 +256,6 @@ func (l *SlidingWindowLogic) fireWindow(ctx dataflow.OpContext, end simtime.Time
 				}
 			}
 			pane.Values = kept
-			bpe := l.BytesPerEntry
-			if bpe <= 0 {
-				bpe = 24
-			}
 			if len(pane.Values) == 0 {
 				g.Delete(key)
 			} else {
@@ -245,11 +268,12 @@ func (l *SlidingWindowLogic) fireWindow(ctx dataflow.OpContext, end simtime.Time
 			if l.Agg != nil {
 				agg = l.Agg(vals)
 			}
-			out := newRecord(ctx)
+			l.valScratch = vals[:0]
+			out := l.rec(ctx)
 			out.Key = key
 			out.EventTime = end
 			out.Size = 32
-			out.Data = agg
+			out.Value = agg
 			ctx.Emit(out)
 		}
 	}
@@ -265,7 +289,9 @@ func maxOf(vals []float64) float64 {
 	return m
 }
 
-// JoinSide tags records for WindowJoinLogic via Record.Data.
+// JoinSide tags records for WindowJoinLogic via Record.Aux (the typed-payload
+// escape hatch: join inputs are the one stream shape that does not reduce to
+// a single float64).
 type JoinSide struct {
 	Left  bool
 	Value float64
@@ -286,15 +312,20 @@ type WindowJoinLogic struct {
 
 	lastFired simtime.Time
 	inited    bool
+
+	recEmitter
+	keyScratch []uint64
 }
 
 // OnRecord implements dataflow.Logic.
 func (l *WindowJoinLogic) OnRecord(ctx dataflow.OpContext, r *netsim.Record) {
-	js := &joinState{}
+	var js *joinState
 	if v, ok := ctx.State().Get(r.Key); ok {
 		js = v.(*joinState)
+	} else {
+		js = &joinState{}
 	}
-	side, _ := r.Data.(JoinSide)
+	side, _ := r.Aux.(JoinSide)
 	pe := paneEntry{At: r.EventTime, V: side.Value}
 	if side.Left {
 		js.Left = append(js.Left, pe)
@@ -327,13 +358,10 @@ func (l *WindowJoinLogic) fire(ctx dataflow.OpContext, end simtime.Time) {
 	}
 	for _, kg := range st.Groups() {
 		g := st.Group(kg)
-		keys := make([]uint64, 0, len(g.Entries))
-		for k := range g.Entries {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, key := range keys {
-			js := g.Entries[key].Value.(*joinState)
+		l.keyScratch = sortedGroupKeys(g, l.keyScratch)
+		for _, key := range l.keyScratch {
+			v, _ := g.Get(key)
+			js := v.(*joinState)
 			inWin := func(es []paneEntry) int {
 				n := 0
 				for _, pe := range es {
@@ -345,11 +373,11 @@ func (l *WindowJoinLogic) fire(ctx dataflow.OpContext, end simtime.Time) {
 			}
 			nl, nr := inWin(js.Left), inWin(js.Right)
 			if nl > 0 && nr > 0 {
-				out := newRecord(ctx)
+				out := l.rec(ctx)
 				out.Key = key
 				out.EventTime = end
 				out.Size = 32
-				out.Data = float64(nl * nr)
+				out.Value = float64(nl * nr)
 				ctx.Emit(out)
 			}
 			trim := func(es []paneEntry) []paneEntry {
@@ -416,7 +444,7 @@ func NewCollectSink() *CollectSink {
 // OnRecord implements dataflow.Logic.
 func (s *CollectSink) OnRecord(_ dataflow.OpContext, r *netsim.Record) {
 	s.Records++
-	s.ByKey[r.Key] += recordValue(r)
+	s.ByKey[r.Key] += r.Value
 	s.CountByKey[r.Key]++
 	if r.Seq != 0 {
 		s.Seqs[r.Seq]++
@@ -438,16 +466,17 @@ func (s *CollectSink) Duplicates() int {
 }
 
 // Keyed state for SlidingWindowLogic and WindowJoinLogic flows through
-// state.Store as *windowPane / *joinState; a compile-time hint that these
-// remain comparable across migration is unnecessary, but we assert the
-// library types satisfy dataflow.Logic.
+// state.Store as *windowPane / *joinState aux payloads; KeyedReduceLogic
+// rides the float64 fast lane. The library types satisfy dataflow.Logic, and
+// the emitters also satisfy dataflow.Binder so the per-emit pool-capability
+// check is resolved once at bind time.
 var (
-	_ dataflow.Logic = (*KeyedReduceLogic)(nil)
-	_ dataflow.Logic = (*SlidingWindowLogic)(nil)
-	_ dataflow.Logic = (*WindowJoinLogic)(nil)
-	_ dataflow.Logic = (*MapLogic)(nil)
-	_ dataflow.Logic = (*CollectSink)(nil)
+	_ dataflow.Logic  = (*KeyedReduceLogic)(nil)
+	_ dataflow.Logic  = (*SlidingWindowLogic)(nil)
+	_ dataflow.Logic  = (*WindowJoinLogic)(nil)
+	_ dataflow.Logic  = (*MapLogic)(nil)
+	_ dataflow.Logic  = (*CollectSink)(nil)
+	_ dataflow.Binder = (*KeyedReduceLogic)(nil)
+	_ dataflow.Binder = (*SlidingWindowLogic)(nil)
+	_ dataflow.Binder = (*WindowJoinLogic)(nil)
 )
-
-// Ensure state import is used even if logic evolves.
-var _ = state.KeyGroupOf

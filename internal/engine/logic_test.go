@@ -30,7 +30,7 @@ func (c *fakeCtx) InstanceIndex() int             { return 0 }
 func (c *fakeCtx) CurrentWatermark() simtime.Time { return c.now }
 
 func rec(key uint64, at simtime.Time, v float64) *netsim.Record {
-	return &netsim.Record{Key: key, EventTime: at, Data: v}
+	return &netsim.Record{Key: key, EventTime: at, Value: v}
 }
 
 func TestSlidingWindowExactContents(t *testing.T) {
@@ -46,8 +46,8 @@ func TestSlidingWindowExactContents(t *testing.T) {
 	if len(ctx.out) != 2 {
 		t.Fatalf("fired %d windows, want 2", len(ctx.out))
 	}
-	if ctx.out[0].Data.(float64) != 5 || ctx.out[1].Data.(float64) != 7 {
-		t.Fatalf("window values %v, %v", ctx.out[0].Data, ctx.out[1].Data)
+	if ctx.out[0].Value != 5 || ctx.out[1].Value != 7 {
+		t.Fatalf("window values %v, %v", ctx.out[0].Value, ctx.out[1].Value)
 	}
 	ctx.out = nil
 	l.OnWatermark(ctx, 220) // windows ending 150, 200 contain t=60?,110
@@ -55,8 +55,8 @@ func TestSlidingWindowExactContents(t *testing.T) {
 	if len(ctx.out) != 2 {
 		t.Fatalf("fired %d windows, want 2 (150 and 200)", len(ctx.out))
 	}
-	if ctx.out[0].Data.(float64) != 7 || ctx.out[1].Data.(float64) != 3 {
-		t.Fatalf("window values %v, %v", ctx.out[0].Data, ctx.out[1].Data)
+	if ctx.out[0].Value != 7 || ctx.out[1].Value != 3 {
+		t.Fatalf("window values %v, %v", ctx.out[0].Value, ctx.out[1].Value)
 	}
 }
 
@@ -88,8 +88,8 @@ func TestSlidingWindowHugeWatermarkJump(t *testing.T) {
 		t.Fatalf("catch-up fired %d windows, want 2", len(ctx.out))
 	}
 	for _, r := range ctx.out {
-		if r.Data.(float64) != 9 {
-			t.Fatalf("bad catch-up value %v", r.Data)
+		if r.Value != 9 {
+			t.Fatalf("bad catch-up value %v", r.Value)
 		}
 	}
 }
@@ -99,14 +99,14 @@ func TestWindowJoinMatchesBothSidesOnly(t *testing.T) {
 	l := &WindowJoinLogic{Size: 100, Slide: 100}
 	l.OnWatermark(ctx, 0)
 	// Key 1: both sides. Key 2: left only.
-	l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: 10, Data: JoinSide{Left: true, Value: 1}})
-	l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: 20, Data: JoinSide{Left: false, Value: 1}})
-	l.OnRecord(ctx, &netsim.Record{Key: 2, EventTime: 30, Data: JoinSide{Left: true, Value: 1}})
+	l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: 10, Aux: JoinSide{Left: true, Value: 1}})
+	l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: 20, Aux: JoinSide{Left: false, Value: 1}})
+	l.OnRecord(ctx, &netsim.Record{Key: 2, EventTime: 30, Aux: JoinSide{Left: true, Value: 1}})
 	l.OnWatermark(ctx, 100)
 	if len(ctx.out) != 1 {
 		t.Fatalf("join fired %d matches, want 1", len(ctx.out))
 	}
-	if ctx.out[0].Key != 1 || ctx.out[0].Data.(float64) != 1 {
+	if ctx.out[0].Key != 1 || ctx.out[0].Value != 1 {
 		t.Fatalf("bad match %+v", ctx.out[0])
 	}
 }
@@ -116,13 +116,13 @@ func TestWindowJoinPairCount(t *testing.T) {
 	l := &WindowJoinLogic{Size: 100, Slide: 100}
 	l.OnWatermark(ctx, 0)
 	for i := 0; i < 3; i++ {
-		l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: simtime.Time(10 + i), Data: JoinSide{Left: true}})
+		l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: simtime.Time(10 + i), Aux: JoinSide{Left: true}})
 	}
 	for i := 0; i < 2; i++ {
-		l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: simtime.Time(40 + i), Data: JoinSide{Left: false}})
+		l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: simtime.Time(40 + i), Aux: JoinSide{Left: false}})
 	}
 	l.OnWatermark(ctx, 100)
-	if len(ctx.out) != 1 || ctx.out[0].Data.(float64) != 6 {
+	if len(ctx.out) != 1 || ctx.out[0].Value != 6 {
 		t.Fatalf("want 3×2=6 pairs, got %v", ctx.out)
 	}
 }
@@ -133,12 +133,12 @@ func TestMapLogicDropAndTransform(t *testing.T) {
 		if r.Key%2 == 0 {
 			return nil
 		}
-		r.Data = 42.0
+		r.Value = 42
 		return r
 	}}
 	drop.OnRecord(ctx, rec(1, 0, 0))
 	drop.OnRecord(ctx, rec(2, 0, 0))
-	if len(ctx.out) != 1 || ctx.out[0].Data.(float64) != 42 {
+	if len(ctx.out) != 1 || ctx.out[0].Value != 42 {
 		t.Fatalf("map output %v", ctx.out)
 	}
 	// Identity map forwards untouched.
@@ -153,9 +153,8 @@ func TestKeyedReduceCustomReducer(t *testing.T) {
 	ctx := newFakeCtx()
 	l := &KeyedReduceLogic{
 		Reduce: func(acc float64, r *netsim.Record) float64 {
-			v := r.Data.(float64)
-			if v > acc {
-				return v
+			if r.Value > acc {
+				return r.Value
 			}
 			return acc
 		},
@@ -163,20 +162,21 @@ func TestKeyedReduceCustomReducer(t *testing.T) {
 	for _, v := range []float64{3, 9, 5} {
 		l.OnRecord(ctx, rec(1, 0, v))
 	}
-	got, _ := ctx.store.Get(1)
-	if got.(float64) != 9 {
+	if got, ok := ctx.store.GetF64(1); !ok || got != 9 {
 		t.Fatalf("running max %v", got)
 	}
 }
 
-func TestRecordValueCoercion(t *testing.T) {
-	cases := []struct {
-		in   any
-		want float64
-	}{{3.5, 3.5}, {int(2), 2}, {int64(7), 7}, {"x", 1}, {nil, 1}}
-	for _, c := range cases {
-		if got := recordValue(&netsim.Record{Data: c.in}); got != c.want {
-			t.Fatalf("recordValue(%v) = %v, want %v", c.in, got, c.want)
-		}
+func TestJoinSideMissingAuxDefaultsToRightZero(t *testing.T) {
+	// A record without an Aux payload joins as a zero-valued right-side
+	// entry (the JoinSide zero value) instead of panicking.
+	ctx := newFakeCtx()
+	l := &WindowJoinLogic{Size: 100, Slide: 100}
+	l.OnWatermark(ctx, 0)
+	l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: 10})
+	l.OnRecord(ctx, &netsim.Record{Key: 1, EventTime: 20, Aux: JoinSide{Left: true}})
+	l.OnWatermark(ctx, 100)
+	if len(ctx.out) != 1 || ctx.out[0].Value != 1 {
+		t.Fatalf("want one 1×1 match, got %v", ctx.out)
 	}
 }

@@ -169,7 +169,7 @@ func TestRecordPoolRecycle(t *testing.T) {
 	var p RecordPool
 	r := p.Get()
 	r.Key = 42
-	r.Data = "payload"
+	r.Aux = "payload"
 	p.Put(r)
 	if p.Len() != 1 {
 		t.Fatalf("pool len %d", p.Len())
@@ -178,7 +178,7 @@ func TestRecordPoolRecycle(t *testing.T) {
 	if r2 != r {
 		t.Fatal("pool did not recycle the record")
 	}
-	if r2.Key != 0 || r2.Data != nil {
+	if r2.Key != 0 || r2.Aux != nil || r2.Value != 0 {
 		t.Fatalf("recycled record not zeroed: %+v", r2)
 	}
 	p.Put(nil) // must not panic

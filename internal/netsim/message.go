@@ -70,7 +70,14 @@ type Record struct {
 	IngestTime simtime.Time
 	Seq        uint64
 	Size       int
-	Data       any
+	// Value is the record's payload fast lane: every hot-path operator
+	// (keyed reduce, windows, sinks, map transforms) reads and writes this
+	// unboxed float64, so the steady-state record path allocates nothing.
+	Value float64
+	// Aux is the escape hatch for the rare structured payloads that do not
+	// reduce to one float64 (e.g. join-side tags). It boxes, so hot paths
+	// must leave it nil.
+	Aux any
 	// Marker marks a latency marker; markers bypass windowing operators but
 	// otherwise queue and process like records.
 	Marker bool

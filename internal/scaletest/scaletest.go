@@ -132,7 +132,7 @@ func CheckPlacement(res Result) string {
 			// Empty shells are allowed off-target: Meces keeps them as
 			// serving stubs for potential fetch-backs.
 			g := in.Store().Group(kg)
-			if owner[kg] != in.Index && len(g.Entries) > 0 {
+			if owner[kg] != in.Index && g.Len() > 0 {
 				return fmt.Sprintf("kg %d found at %s, belongs to instance %d", kg, in.Name(), owner[kg])
 			}
 		}

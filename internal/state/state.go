@@ -3,7 +3,16 @@
 // Following Flink's model (and the paper's), keyed state is partitioned into
 // a fixed number of key groups; a key group is the atomic unit of state
 // migration. Meces additionally splits key groups into sub-key-groups
-// ("hierarchical state organization"), which SliceGroup supports.
+// ("hierarchical state organization"), which ExtractSubUnit supports.
+//
+// Storage layout: a key group keeps a map[uint64]int32 index from key to a
+// slot in a contiguous slab. The common payload — one float64 accumulator —
+// lives unboxed in the slot's fast lane; rare structured payloads (window
+// panes, join buffers) ride in an `any` escape hatch. Deleted slots go on a
+// free list and are reused, so steady-state Put/Get/Delete allocate nothing.
+// Byte accounting (per entry, per group) is identical to the boxed
+// implementation this replaces: migration chunking, sub-key-group slicing,
+// and serialized-bytes accounting observe the exact same numbers.
 package state
 
 import (
@@ -37,45 +46,180 @@ func SubUnitOf(key uint64, n int) int {
 	return int(h % uint64(n))
 }
 
-// Entry is one key's state plus its accounted size.
-type Entry struct {
-	Value any
-	Bytes int
+// slot is one key's state in a group's slab: an unboxed float64 fast lane,
+// an `any` escape hatch for structured payloads, and the accounted size.
+// aux == nil means the entry's payload is the fast lane.
+type slot struct {
+	key   uint64
+	val   float64
+	aux   any
+	bytes int
+	live  bool
 }
 
-// Group is the state of one key group.
+// Group is the state of one key group: a slab of slots indexed by key, with
+// a free list recycling deleted slots.
 type Group struct {
-	Entries map[uint64]Entry
-	Bytes   int
+	index map[uint64]int32
+	slots []slot
+	free  []int32
+	// Bytes is the group's accounted size (the sum of entry sizes).
+	Bytes int
 }
 
 // NewGroup returns an empty key-group container.
 func NewGroup() *Group {
-	return &Group{Entries: make(map[uint64]Entry)}
+	return &Group{index: make(map[uint64]int32)}
 }
 
-// Put inserts or replaces a key's state, maintaining byte accounting.
-func (g *Group) Put(key uint64, value any, bytes int) {
-	if old, ok := g.Entries[key]; ok {
-		g.Bytes -= old.Bytes
+// Len reports the number of keys with state in the group.
+func (g *Group) Len() int { return len(g.index) }
+
+// put is the shared insert/replace path; value semantics are split across
+// the two lanes by the callers.
+func (g *Group) put(key uint64, val float64, aux any, bytes int) {
+	if i, ok := g.index[key]; ok {
+		s := &g.slots[i]
+		g.Bytes -= s.bytes
+		s.val, s.aux, s.bytes = val, aux, bytes
+		g.Bytes += bytes
+		return
 	}
-	g.Entries[key] = Entry{Value: value, Bytes: bytes}
+	var i int32
+	if n := len(g.free); n > 0 {
+		i = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		g.slots = append(g.slots, slot{})
+		i = int32(len(g.slots) - 1)
+	}
+	g.slots[i] = slot{key: key, val: val, aux: aux, bytes: bytes, live: true}
+	g.index[key] = i
 	g.Bytes += bytes
 }
 
-// Delete removes a key's state.
+// PutF64 inserts or replaces a key's state with an unboxed float64,
+// maintaining byte accounting. This is the record hot path.
+func (g *Group) PutF64(key uint64, v float64, bytes int) { g.put(key, v, nil, bytes) }
+
+// Put inserts or replaces a key's state, maintaining byte accounting.
+// float64 values land in the fast lane; everything else rides in the aux
+// lane. Hot paths should call PutF64 directly.
+func (g *Group) Put(key uint64, value any, bytes int) {
+	if f, ok := value.(float64); ok {
+		g.put(key, f, nil, bytes)
+		return
+	}
+	g.put(key, 0, value, bytes)
+}
+
+// GetF64 returns the fast-lane value for key. ok is false when the key is
+// absent or holds an aux payload.
+func (g *Group) GetF64(key uint64) (float64, bool) {
+	i, ok := g.index[key]
+	if !ok {
+		return 0, false
+	}
+	s := &g.slots[i]
+	if s.aux != nil {
+		return 0, false
+	}
+	return s.val, true
+}
+
+// Get returns the state for key: the aux payload if present, else the boxed
+// fast-lane value. Hot paths should call GetF64 to avoid the boxing.
+func (g *Group) Get(key uint64) (any, bool) {
+	i, ok := g.index[key]
+	if !ok {
+		return nil, false
+	}
+	s := &g.slots[i]
+	if s.aux != nil {
+		return s.aux, true
+	}
+	return s.val, true
+}
+
+// EntryBytes returns the accounted size of one key's entry (0 if absent).
+func (g *Group) EntryBytes(key uint64) int {
+	if i, ok := g.index[key]; ok {
+		return g.slots[i].bytes
+	}
+	return 0
+}
+
+// Delete removes a key's state, recycling its slot.
 func (g *Group) Delete(key uint64) {
-	if old, ok := g.Entries[key]; ok {
-		g.Bytes -= old.Bytes
-		delete(g.Entries, key)
+	i, ok := g.index[key]
+	if !ok {
+		return
+	}
+	s := &g.slots[i]
+	g.Bytes -= s.bytes
+	*s = slot{}
+	delete(g.index, key)
+	g.free = append(g.free, i)
+}
+
+// ForEach visits every entry in slab (insertion) order. Fast-lane values are
+// boxed for the callback, so hot paths should not iterate this way; it
+// exists for migration slicing, window firing, and inspection. The callback
+// must not add or delete entries.
+func (g *Group) ForEach(fn func(key uint64, value any, bytes int)) {
+	for i := range g.slots {
+		s := &g.slots[i]
+		if !s.live {
+			continue
+		}
+		if s.aux != nil {
+			fn(s.key, s.aux, s.bytes)
+		} else {
+			fn(s.key, s.val, s.bytes)
+		}
 	}
 }
 
-// Merge folds other into g (used when a migrated chunk arrives).
-func (g *Group) Merge(other *Group) {
-	for k, e := range other.Entries {
-		g.Put(k, e.Value, e.Bytes)
+// Keys returns the group's keys in slab (insertion) order.
+func (g *Group) Keys() []uint64 {
+	return g.AppendKeys(make([]uint64, 0, len(g.index)))
+}
+
+// AppendKeys appends the group's keys to dst in slab order and returns it
+// (the allocation-free variant of Keys for reusable scratch buffers).
+func (g *Group) AppendKeys(dst []uint64) []uint64 {
+	for i := range g.slots {
+		if g.slots[i].live {
+			dst = append(dst, g.slots[i].key)
+		}
 	}
+	return dst
+}
+
+// Merge folds other into g (used when a migrated chunk arrives), entry by
+// entry with Put accounting, without boxing fast-lane values.
+func (g *Group) Merge(other *Group) {
+	for i := range other.slots {
+		s := &other.slots[i]
+		if s.live {
+			g.put(s.key, s.val, s.aux, s.bytes)
+		}
+	}
+}
+
+// clone deep-copies the group (aux payloads are copied shallowly; simulated
+// state values are immutable or replaced wholesale on Put).
+func (g *Group) clone() *Group {
+	ng := &Group{
+		index: make(map[uint64]int32, len(g.index)),
+		slots: append([]slot(nil), g.slots...),
+		free:  append([]int32(nil), g.free...),
+		Bytes: g.Bytes,
+	}
+	for k, i := range g.index {
+		ng.index[k] = i
+	}
+	return ng
 }
 
 // Store is the keyed state of one operator instance: the subset of key groups
@@ -122,30 +266,48 @@ func (s *Store) Groups() []int {
 	return out
 }
 
-// Get returns the state for key, which must hash into a local group.
+// Get returns the state for key, which must hash into a local group. Hot
+// paths use GetF64.
 func (s *Store) Get(key uint64) (any, bool) {
 	kg := KeyGroupOf(key, s.MaxKeyGroups)
 	g, ok := s.groups[kg]
 	if !ok {
 		return nil, false
 	}
-	e, ok := g.Entries[key]
+	return g.Get(key)
+}
+
+// GetF64 returns the unboxed fast-lane state for key (ok is false when the
+// key is absent, holds an aux payload, or its group is not local).
+func (s *Store) GetF64(key uint64) (float64, bool) {
+	kg := KeyGroupOf(key, s.MaxKeyGroups)
+	g, ok := s.groups[kg]
 	if !ok {
-		return nil, false
+		return 0, false
 	}
-	return e.Value, true
+	return g.GetF64(key)
 }
 
 // Put writes state for key into its (local) key group. It panics if the key
 // group is not local: processing a record without local state is exactly the
 // bug class the scaling mechanisms exist to prevent, so it must be loud.
 func (s *Store) Put(key uint64, value any, bytes int) {
+	s.mustGroup(key).Put(key, value, bytes)
+}
+
+// PutF64 writes unboxed fast-lane state for key into its (local) key group,
+// panicking like Put when the group is not local.
+func (s *Store) PutF64(key uint64, v float64, bytes int) {
+	s.mustGroup(key).PutF64(key, v, bytes)
+}
+
+func (s *Store) mustGroup(key uint64) *Group {
 	kg := KeyGroupOf(key, s.MaxKeyGroups)
 	g, ok := s.groups[kg]
 	if !ok {
 		panic(fmt.Sprintf("state: Put(key=%d) into non-local key group %d", key, kg))
 	}
-	g.Put(key, value, bytes)
+	return g
 }
 
 // Delete removes state for key if present.
@@ -177,7 +339,7 @@ func (s *Store) TotalBytes() int {
 func (s *Store) KeyCount() int {
 	var n int
 	for _, g := range s.groups {
-		n += len(g.Entries)
+		n += g.Len()
 	}
 	return n
 }
@@ -216,28 +378,23 @@ func (s *Store) ExtractSubUnit(kg, sub, n int) *Group {
 		return nil
 	}
 	out := NewGroup()
-	for k, e := range g.Entries {
-		if SubUnitOf(k, n) == sub {
-			out.Put(k, e.Value, e.Bytes)
+	for i := range g.slots {
+		sl := &g.slots[i]
+		if sl.live && SubUnitOf(sl.key, n) == sub {
+			out.put(sl.key, sl.val, sl.aux, sl.bytes)
 		}
 	}
-	for k := range out.Entries {
-		g.Delete(k)
+	for i := range out.slots {
+		g.Delete(out.slots[i].key)
 	}
 	return out
 }
 
-// Snapshot deep-copies the group map (values are copied shallowly; simulated
-// state values are immutable or replaced wholesale on Put).
+// Snapshot deep-copies the group map.
 func (s *Store) Snapshot() map[int]*Group {
 	out := make(map[int]*Group, len(s.groups))
 	for kg, g := range s.groups {
-		ng := NewGroup()
-		for k, e := range g.Entries {
-			ng.Entries[k] = e
-		}
-		ng.Bytes = g.Bytes
-		out[kg] = ng
+		out[kg] = g.clone()
 	}
 	return out
 }
@@ -246,12 +403,7 @@ func (s *Store) Snapshot() map[int]*Group {
 func (s *Store) Restore(snap map[int]*Group) {
 	s.groups = make(map[int]*Group, len(snap))
 	for kg, g := range snap {
-		ng := NewGroup()
-		for k, e := range g.Entries {
-			ng.Entries[k] = e
-		}
-		ng.Bytes = g.Bytes
-		s.groups[kg] = ng
+		s.groups[kg] = g.clone()
 	}
 }
 

@@ -52,8 +52,8 @@ func TestGroupPutDeleteAccounting(t *testing.T) {
 		t.Fatalf("bytes after replace %d", g.Bytes)
 	}
 	g.Delete(2)
-	if g.Bytes != 15 || len(g.Entries) != 1 {
-		t.Fatalf("after delete: %d bytes, %d entries", g.Bytes, len(g.Entries))
+	if g.Bytes != 15 || g.Len() != 1 {
+		t.Fatalf("after delete: %d bytes, %d entries", g.Bytes, g.Len())
 	}
 	g.Delete(99) // no-op
 	if g.Bytes != 15 {
@@ -162,8 +162,8 @@ func TestExtractSubUnitPartition(t *testing.T) {
 		if g == nil {
 			t.Fatal("nil sub unit")
 		}
-		gotKeys += len(g.Entries)
-		for k := range g.Entries {
+		gotKeys += g.Len()
+		for _, k := range g.Keys() {
 			if SubUnitOf(k, 4) != sub {
 				t.Fatalf("key %d in wrong sub unit", k)
 			}

@@ -101,7 +101,7 @@ func TestKeysLandInCorrectGroups(t *testing.T) {
 	for _, in := range rt.Instances("agg") {
 		st := in.Store()
 		for _, kg := range st.Groups() {
-			for k := range st.Group(kg).Entries {
+			for _, k := range st.Group(kg).Keys() {
 				if state.KeyGroupOf(k, 64) != kg {
 					t.Fatalf("key %d in wrong group %d", k, kg)
 				}
