@@ -11,15 +11,26 @@
 //	drrs-bench -experiment sweep -workload flash-crowd,diurnal -mechanisms drrs,meces
 //	drrs-bench -experiment topology -workload rack-skew
 //	drrs-bench -experiment multiwave -workload bigcluster-128 -topology rack8x16
+//	drrs-bench -experiment control -workload flash-crowd-reactive
+//	drrs-bench -experiment control -workload diurnal-autoscale -policy backlog
+//	drrs-bench -experiment multiwave -workload flash-crowd -driver controller -policy threshold
 //	drrs-bench -experiment all -parallel 8 -perf BENCH.json
+//	drrs-bench -experiment control -seeds 2 -json control.json
 //	drrs-bench -experiment fig15 -parallel 1 -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: fig2, fig10 (also emits Figs 11–13 from the same runs),
 // fig14, fig15, multiwave, sweep, topology (rack-local vs spread placement),
-// ablation, all. -workload accepts any registered scenario (see -list);
-// fig10's default "all" covers the paper's q7, q8, twitch; sweep's default
-// "all" covers every registered scenario. -topology/-placement force every
-// run onto a named cluster substrate / placement policy.
+// control (mechanisms under reactive closed-loop driving), ablation, all.
+// -workload accepts any registered scenario (see -list); fig10's default
+// "all" covers the paper's q7, q8, twitch; sweep's default "all" covers
+// every registered scenario. -topology/-placement force every run onto a
+// named cluster substrate / placement policy; -driver/-policy force how runs
+// are driven (scripted wave program vs closed-loop controller and which
+// control policy decides).
+//
+// -json writes every figure's structured rows (plus decision counts where
+// applicable) as a machine-readable record, so CI jobs consume figures
+// without scraping the text tables.
 //
 // Independent (workload, mechanism, seed) runs execute on a worker pool of
 // -parallel goroutines (default GOMAXPROCS; 1 forces sequential). Every
@@ -41,7 +52,24 @@ import (
 	"time"
 
 	"drrs/internal/bench"
+	"drrs/internal/control"
 )
+
+// figuresJSON is the top-level -json document: every figure's structured
+// rows, so CI and analysis scripts consume numbers instead of scraping the
+// printed tables.
+type figuresJSON struct {
+	GeneratedAt string       `json:"generated_at"`
+	Experiment  string       `json:"experiment"`
+	Seeds       []int64      `json:"seeds"`
+	Figures     []figureJSON `json:"figures"`
+}
+
+// figureJSON is one figure's machine-readable rows.
+type figureJSON struct {
+	Title string               `json:"title"`
+	Rows  map[string]bench.Row `json:"rows,omitempty"`
+}
 
 // figurePerf is one figure's perf accounting in the -perf JSON record.
 type figurePerf struct {
@@ -71,21 +99,24 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS, 1 = sequential)")
 	topology := flag.String("topology", "", "override every run's cluster: "+strings.Join(bench.Topologies(), " | "))
 	placement := flag.String("placement", "", "override every run's placement policy: spread | pack | rack-local")
+	driver := flag.String("driver", "", "override every run's driving: script | controller")
+	policy := flag.String("policy", "", "control policy for controller driving: "+strings.Join(control.PolicyNames(), " | "))
 	perfOut := flag.String("perf", "", "write a JSON perf record (wall time, events/sec per figure) to this file")
+	jsonOut := flag.String("json", "", "write every figure's structured rows as machine-readable JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
 	if *list {
-		fmt.Printf("%-16s %-10s %-44s %s\n", "scenario", "waves", "layout", "description")
+		fmt.Printf("%-22s %-20s %-44s %s\n", "scenario", "driving", "layout", "description")
 		for _, def := range bench.Definitions() {
 			sc := def.New(*baseSeed)
 			layout := def.Layout
 			if layout == "" {
 				layout = "flat single node"
 			}
-			fmt.Printf("%-16s %-10s %-44s %s\n", def.Name, sc.ProgramString(), layout, def.Description)
+			fmt.Printf("%-22s %-20s %-44s %s\n", def.Name, sc.ProgramString(), layout, def.Description)
 		}
 		return
 	}
@@ -94,7 +125,7 @@ func main() {
 		os.Exit(2)
 	}
 	switch *experiment {
-	case "fig2", "fig10", "fig14", "fig15", "multiwave", "sweep", "topology", "ablation", "all":
+	case "fig2", "fig10", "fig14", "fig15", "multiwave", "sweep", "topology", "control", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -117,6 +148,7 @@ func main() {
 			}
 		}()
 		bench.SetClusterOverride(*topology, *placement)
+		bench.SetDriverOverride(*driver, *policy)
 	}()
 
 	bench.Workers = *parallel
@@ -202,6 +234,11 @@ func main() {
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
 	}
+	jsonRec := figuresJSON{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Experiment:  *experiment,
+		Seeds:       seedList,
+	}
 	run := func(name string, fn func() bench.FigureResult) {
 		ev0 := bench.EventsSimulated.Load()
 		t0 := time.Now()
@@ -214,8 +251,24 @@ func main() {
 			Events:       events,
 			EventsPerSec: float64(events) / wall.Seconds(),
 		})
+		jsonRec.Figures = append(jsonRec.Figures, figureJSON{Title: res.Title, Rows: res.Rows})
 		fmt.Printf("==== %s (wall %v, %d events) ====\n%s\n", res.Title, wall.Round(time.Millisecond), events, res.Text)
 	}
+	defer func() {
+		if *jsonOut == "" {
+			return
+		}
+		data, err := json.MarshalIndent(jsonRec, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drrs-bench: writing figure JSON: %v\n", err)
+			exitCode = 1
+			return
+		}
+		fmt.Printf("figure rows written to %s\n", *jsonOut)
+	}()
 	defer func() {
 		if *perfOut == "" {
 			return
@@ -272,6 +325,11 @@ func main() {
 			wl := wl
 			run(wl, func() bench.FigureResult { return bench.TopologyFigure(wl, mechList, seedList) })
 		}
+	case "control":
+		for _, wl := range workloads(*workloadName, []string{"flash-crowd-reactive", "diurnal-autoscale", "oscillation-guard"}) {
+			wl := wl
+			run(wl, func() bench.FigureResult { return bench.ControlFigure(wl, mechList, seedList) })
+		}
 	case "ablation":
 		run("ablation", func() bench.FigureResult { return ablation(*baseSeed) })
 	case "all":
@@ -283,6 +341,7 @@ func main() {
 		run("fig14", func() bench.FigureResult { return bench.Fig14(seedList) })
 		run("multiwave", func() bench.FigureResult { return bench.MultiWave("flash-crowd", mechList, seedList) })
 		run("topology", func() bench.FigureResult { return bench.TopologyFigure("rack-skew", mechList, seedList) })
+		run("control", func() bench.FigureResult { return bench.ControlFigure("flash-crowd-reactive", mechList, seedList) })
 		run("fig15", func() bench.FigureResult {
 			_, res := bench.Fig15(*baseSeed,
 				[]float64{6000, 10000, 12000},

@@ -8,13 +8,17 @@
 //	drrs-sim -workload twitch -mechanism drrs
 //	drrs-sim -workload q7 -mechanism megaphone -seed 7
 //	drrs-sim -workload flash-crowd -mechanism drrs
+//	drrs-sim -workload flash-crowd-reactive -mechanism meces
+//	drrs-sim -workload diurnal -mechanism drrs -driver controller -policy predictive
 //	drrs-sim -workload q8 -mechanism no-scale
 //
 // -workload accepts any registered scenario (drrs-bench -list enumerates
-// them); multi-wave scenarios print one report block per wave.
+// them); multi-wave scenarios print one report block per wave. Closed-loop
+// scenarios (and any scenario forced onto -driver controller) additionally
+// print the controller's per-decision audit trail.
 //
 // Mechanisms: drrs, drrs-dr, drrs-schedule, drrs-subscale, meces, megaphone,
-// otfs, otfs-allatonce, unbound, no-scale.
+// otfs, otfs-allatonce, stop-restart, unbound, no-scale.
 package main
 
 import (
@@ -34,6 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	topology := flag.String("topology", "", "override the scenario's cluster (flat | swarm | rack4x4 | rack8x16 | tiers3x8)")
 	placement := flag.String("placement", "", "override the placement policy (spread | pack | rack-local)")
+	driver := flag.String("driver", "", "override the scenario's driving (script | controller)")
+	policy := flag.String("policy", "", "control policy for controller driving (threshold | backlog | predictive)")
 	verbose := flag.Bool("v", false, "print the post-run instance table")
 	flag.Parse()
 
@@ -45,6 +51,7 @@ func main() {
 	}()
 
 	bench.SetClusterOverride(*topology, *placement)
+	bench.SetDriverOverride(*driver, *policy)
 	sc := bench.ScenarioByName(*workloadName, *seed)
 	t0 := time.Now()
 	// Fresh mechanism per wave: multi-wave scenarios rescale repeatedly, and
@@ -56,8 +63,12 @@ func main() {
 	fmt.Printf("mechanism  : %s\n", o.Mechanism)
 	fmt.Printf("virtual    : %v simulated in %v wall\n", simtime.Duration(o.EndAt), wall.Round(time.Millisecond))
 	if o.Mechanism != "no-scale" {
-		fmt.Printf("scaling    : program %s, first request at %v, completed=%v\n",
-			sc.ProgramString(), o.ScaleAt, o.Done)
+		// ProgramString reflects the -driver/-policy override, like the run.
+		fmt.Printf("scaling    : %s-driven, program %s, first request at %v, completed=%v\n",
+			o.Driver, sc.ProgramString(), o.ScaleAt, o.Done)
+		if len(o.Decisions) > 0 {
+			fmt.Printf("decisions  :\n%s", bench.FormatDecisions(o))
+		}
 		for i, w := range o.Waves {
 			if w.Scale == nil {
 				fmt.Printf("  wave %d   : →%d never launched (previous wave incomplete or past the horizon)\n",

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"drrs/internal/cluster"
+	"drrs/internal/control"
 	"drrs/internal/dataflow"
 	"drrs/internal/engine"
 	"drrs/internal/metrics"
@@ -37,6 +38,12 @@ type Scenario struct {
 	// wave Gap after the previous wave completes. Empty means the classic
 	// single wave to NewParallelism at Warmup.
 	Waves []Wave
+	// Driver overrides how the scenario is driven: nil replays the scripted
+	// wave program above (ScriptDriver); a ControllerDriver closes the loop
+	// with a control policy deciding when and how far to scale. Scenarios
+	// with a Driver keep NewParallelism/Waves as their scripted fallback for
+	// the -driver script comparison.
+	Driver Driver
 	// Warmup is the steady-state period before the first scaling request
 	// (the paper uses 300 s; scenarios scale it down).
 	Warmup simtime.Duration
@@ -90,13 +97,11 @@ func (sc Scenario) Program() []Wave {
 	return []Wave{{NewParallelism: sc.NewParallelism}}
 }
 
-// ProgramString renders the wave targets for listings, e.g. "→12→8".
+// ProgramString renders the driving program for listings: "→12→8" for a
+// scripted program, "reactive/<policy>" for a closed-loop scenario. It
+// reflects the -driver/-policy override, like the runs themselves.
 func (sc Scenario) ProgramString() string {
-	s := ""
-	for _, w := range sc.Program() {
-		s += fmt.Sprintf("→%d", w.NewParallelism)
-	}
-	return s
+	return sc.driver().Describe(&sc)
 }
 
 // WaveOutcome is one wave's measurement within an Outcome.
@@ -140,8 +145,17 @@ type Outcome struct {
 	// Scale is the first wave's delay accounting (the only wave in the
 	// paper's single-wave experiments); later waves live in Waves.
 	Scale *metrics.ScalingMetrics
-	// Waves holds per-wave measurements (nil for no-scale runs).
+	// Driver names how the run was driven ("script", "controller"; empty for
+	// no-scale runs).
+	Driver string
+	// Waves holds per-wave measurements (nil for no-scale runs). Scripted
+	// runs pre-fill one entry per programmed wave; controller runs append
+	// one per launched operation.
 	Waves []WaveOutcome
+	// Decisions is the controller's per-decision audit trail (nil under
+	// scripted driving): what the policy saw, what it asked for, and whether
+	// the decision superseded an in-flight operation.
+	Decisions []control.Decision
 	// Events is the number of scheduler events the run fired — the raw
 	// simulation work, used for events/second perf accounting.
 	Events uint64
@@ -165,23 +179,27 @@ const StabilityHold = simtime.Duration(5 * simtime.Second)
 
 // Run executes the scenario under mech (nil = no scaling) and returns the
 // outcome after draining the pipeline. Mechanisms carry per-operation state,
-// so a single instance can only drive one wave: multi-wave scenarios must go
-// through RunWith, which builds a fresh mechanism per wave.
+// so a single instance can only drive one scaling operation: multi-wave
+// programs and controller-driven scenarios (which launch as many operations
+// as the policy decides) must go through RunWith, which builds a fresh
+// mechanism per operation.
 func (sc Scenario) Run(mech scaling.Mechanism) Outcome {
 	used := false
 	return sc.RunWith(func() scaling.Mechanism {
 		if used {
-			panic(fmt.Sprintf("bench: scenario %q programs %d waves; Run cannot reuse one mechanism instance — use RunWith with a factory",
-				sc.Name, len(sc.Program())))
+			panic(fmt.Sprintf("bench: scenario %q (driving %s) needs more than one scaling operation; Run cannot reuse one mechanism instance — use RunWith with a factory",
+				sc.Name, sc.ProgramString()))
 		}
 		used = true
 		return mech
 	})
 }
 
-// RunWith executes the scenario's wave program, calling newMech once per
-// wave (nil = no scaling). The scenario's Build must bound its generators to
-// Warmup+Measure (HorizonOf helps), or the drain would never terminate.
+// RunWith executes the scenario under its Driver — the scripted wave program
+// by default, a closed-loop controller when the scenario (or the CLI
+// override) says so — calling newMech once per scaling operation (nil = no
+// scaling). The scenario's Build must bound its generators to Warmup+Measure
+// (HorizonOf helps), or the drain would never terminate.
 func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 	g, _ := sc.Build(sc.Seed)
 	s := simtime.NewScheduler()
@@ -201,69 +219,27 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 
 	first := newMech()
 	out := Outcome{Mechanism: "no-scale", MechRef: first, Seed: sc.Seed, Done: true}
-	waves := sc.Program()
 	horizon := simtime.Time(sc.Warmup + sc.Measure)
+	drv := sc.driver()
+	run := &Run{
+		Scenario: &sc,
+		RT:       rt,
+		Sched:    s,
+		Outcome:  &out,
+		Horizon:  horizon,
+		newMech:  newMech,
+		first:    first,
+	}
 	if first != nil {
 		out.Mechanism = first.Name()
+		out.Driver = drv.Name()
 		out.Done = false
-		out.Waves = make([]WaveOutcome, len(waves))
-		for i := range out.Waves {
-			// Pre-fill the program so never-launched waves still report
-			// their target.
-			out.Waves[i].Wave = waves[i]
-		}
-		var launch func(i int, mech scaling.Mechanism)
-		launch = func(i int, mech scaling.Mechanism) {
-			if mech == nil {
-				return
-			}
-			if s.Now() > horizon {
-				// The gap chain outran the measured run: the pipeline is
-				// draining with no generators or markers, so numbers
-				// measured now would describe an idle system. The wave
-				// stays un-launched (Done=false, Scale=nil).
-				return
-			}
-			w := waves[i]
-			wo := &out.Waves[i]
-			wo.ScaleAt = s.Now()
-			var plan scaling.Plan
-			if i == 0 {
-				// The first wave scales from the nominal contiguous layout.
-				plan = scaling.UniformPlan(g, sc.ScaleOp, w.NewParallelism, sc.Setup)
-				wo.Scale = rt.Scale
-			} else {
-				// Later waves plan from the actual placement the previous
-				// wave left behind, and collect into a fresh per-wave
-				// metrics object. Suspensions spanning the boundary split
-				// there: the tail before it is credited to the wave that
-				// caused it, and the interval re-opens on the new collector
-				// so the remainder lands in this wave.
-				plan = scaling.PlanFromPlacement(rt, sc.ScaleOp, w.NewParallelism, sc.Setup)
-				stillOpen := rt.Scale.CloseAllSuspensions(s.Now())
-				wo.Scale = metrics.NewScalingMetrics()
-				rt.Scale = wo.Scale
-				for _, name := range stillOpen {
-					wo.Scale.SuspendBegin(name, s.Now())
-				}
-			}
-			wo.FromParallelism = plan.OldParallelism
-			if i > 0 {
-				wo.FromParallelism = waves[i-1].NewParallelism
-			}
-			mech.Start(rt, plan, func() {
-				wo.Done = true
-				wo.DoneAt = s.Now()
-				if i+1 < len(waves) {
-					s.After(waves[i+1].Gap, func() { launch(i+1, newMech()) })
-				}
-			})
-		}
-		s.After(sc.Warmup+waves[0].Gap, func() { launch(0, first) })
+		drv.Drive(run)
 	}
 	s.RunUntil(horizon)
 	rt.StopMarkers()
 	s.Run()
+	drv.Finish(run)
 
 	out.EndAt = s.Now()
 	out.Events = s.Processed()
@@ -276,7 +252,7 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 	rt.Scale.CloseAllSuspensions(s.Now())
 	out.PreAvgMs = rt.Latency.AvgIn(0, simtime.Time(sc.Warmup))
 	if first != nil {
-		if out.Waves[0].Scale != nil {
+		if len(out.Waves) > 0 && out.Waves[0].Scale != nil {
 			out.Scale = out.Waves[0].Scale
 			out.ScaleAt = out.Waves[0].ScaleAt
 		}
@@ -284,9 +260,11 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 		for i := range out.Waves {
 			out.Done = out.Done && out.Waves[i].Done
 		}
-		stabilizeWaves(rt.Latency, out.Waves, out.PreAvgMs)
-		last := &out.Waves[len(out.Waves)-1]
-		out.StabilizedAt, out.Stabilized = last.StabilizedAt, last.Stabilized
+		if len(out.Waves) > 0 {
+			stabilizeWaves(rt.Latency, out.Waves, out.PreAvgMs)
+			last := &out.Waves[len(out.Waves)-1]
+			out.StabilizedAt, out.Stabilized = last.StabilizedAt, last.Stabilized
+		}
 	}
 	return out
 }

@@ -56,6 +56,14 @@ func requireSameOutcome(t *testing.T, label string, a, b Outcome) {
 		requireSameSeries(t, fmt.Sprintf("%s/wave%d/suspension", label, i),
 			wa.Scale.SuspensionCurve(), wb.Scale.SuspensionCurve())
 	}
+	if len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("%s: decision count %d vs %d", label, len(a.Decisions), len(b.Decisions))
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] {
+			t.Fatalf("%s: decision %d differs: %+v vs %+v", label, i, a.Decisions[i], b.Decisions[i])
+		}
+	}
 }
 
 func requireSameSeries(t *testing.T, label string, a, b *metrics.Series) {
@@ -127,6 +135,34 @@ func TestFlashCrowdMultiWaveDeterminism(t *testing.T) {
 		t.Fatal("scale-back wave migrated nothing")
 	}
 	requireSameOutcome(t, "flash-crowd/drrs", a, b)
+}
+
+// TestControllerScenarioDeterminism extends the bit-for-bit guard to
+// closed-loop driving: a controller sampling the live runtime (backlog,
+// throughput buckets, marker latency) and superseding in-flight operations
+// must reproduce the identical run — including the decision audit trail —
+// at a fixed seed. This is the regression net for any map-iteration or
+// wall-clock leak on the controller path.
+func TestControllerScenarioDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("controller determinism test simulates ~90 virtual seconds")
+	}
+	runOnce := func() Outcome {
+		return ScenarioByName("flash-crowd-reactive", 11).
+			RunWith(func() scaling.Mechanism { return Mechanisms("drrs") })
+	}
+	a := runOnce()
+	b := runOnce()
+	if a.Driver != "controller" {
+		t.Fatalf("driver %q, want controller", a.Driver)
+	}
+	if len(a.Decisions) == 0 {
+		t.Fatal("the flash crowd provoked no scaling decisions")
+	}
+	if len(a.Waves) == 0 {
+		t.Fatal("no operation launched")
+	}
+	requireSameOutcome(t, "flash-crowd-reactive/drrs", a, b)
 }
 
 // TestRunParallelMatchesSequential guards the parallel scenario runner: the

@@ -10,6 +10,7 @@ import (
 	"drrs/internal/scaling/meces"
 	"drrs/internal/scaling/megaphone"
 	"drrs/internal/scaling/otfs"
+	"drrs/internal/scaling/stopre"
 	"drrs/internal/scaling/unbound"
 	"drrs/internal/simtime"
 )
@@ -36,6 +37,8 @@ func Mechanisms(name string) scaling.Mechanism {
 		return &otfs.Mechanism{Fluid: true}
 	case "otfs-allatonce":
 		return &otfs.Mechanism{Fluid: false}
+	case "stop-restart":
+		return &stopre.Mechanism{}
 	case "unbound":
 		return &unbound.Mechanism{}
 	case "no-scale":
@@ -73,17 +76,38 @@ type Row struct {
 	DepOverheadMs Stat
 	SuspensionMs  Stat
 	ThroughputDev Stat
+	// Control carries the reactive-driving columns; nil outside the control
+	// figure (and omitted from -json output there).
+	Control *ControlStats `json:",omitempty"`
+}
+
+// ControlStats are one mechanism's closed-loop headline numbers: how the
+// control loop behaved, not just what latency resulted.
+type ControlStats struct {
+	// Decisions and Superseded aggregate per-run decision counts.
+	Decisions  Stat
+	Superseded Stat
+	// OpsDone / OpsTotal count launched operations that completed across all
+	// seeds.
+	OpsDone, OpsTotal int
+	// FinalParallelism histograms where the loop left the operator per seed
+	// (key 0 = the policy never decided; the operator kept its initial
+	// parallelism).
+	FinalParallelism map[int]int
 }
 
 // measureWindow computes the common statistics window the paper uses: from
 // the scaling request to the longest observed scaling period among the
-// compared mechanisms.
+// compared mechanisms. Runs that never scaled — no-scale baselines, and
+// controller runs whose policy never launched an operation (ScaleAt stays
+// 0) — contribute no window edge; folding their zero ScaleAt in would drag
+// the window back into warmup for every mechanism in the figure.
 func measureWindow(outs map[string][]Outcome) (simtime.Time, simtime.Time) {
 	var from, to simtime.Time
 	first := true
 	for _, runs := range outs {
 		for _, o := range runs {
-			if o.Mechanism == "no-scale" {
+			if o.Mechanism == "no-scale" || o.ScaleAt == 0 {
 				continue
 			}
 			if first || o.ScaleAt < from {

@@ -55,6 +55,23 @@ func OutcomeDigest(o Outcome) uint64 {
 		h.i64(int64(o.Scale.CumulativeSuspension()))
 		h.i64(int64(o.Scale.UnitsMigrated()))
 	}
+	// The controller audit trail folds in only when present, so every digest
+	// pinned before the control plane existed (scripted runs have no
+	// decisions) stays valid.
+	if len(o.Decisions) > 0 {
+		h.i64(int64(len(o.Decisions)))
+		for _, d := range o.Decisions {
+			h.i64(int64(d.At))
+			h.str(d.Policy)
+			h.i64(int64(d.From))
+			h.i64(int64(d.To))
+			h.b(d.Superseded)
+			h.b(d.Launched)
+			h.i64(int64(d.LaunchedAt))
+			h.b(d.Done)
+			h.i64(int64(d.DoneAt))
+		}
+	}
 	return h.sum
 }
 

@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"drrs/internal/scaling"
+)
 
 // goldenDigests pins the OutcomeDigest of fixed-seed runs. The values were
 // recorded on the boxed (pre-slab, timer-per-record) data plane and must
@@ -21,6 +25,10 @@ var goldenDigests = []struct {
 	{"twitch", "drrs", 7, 0x79187e882232338c},
 	{"twitch", "no-scale", 7, 0xe14e359c8c083a1d},
 	{"bigcluster-128", "drrs", 3, 0xc0ecb820c15b5e67},
+	// Closed-loop: the digest additionally folds in the controller's
+	// decision audit trail, so a policy or controller change that shifts any
+	// decision (time, target, supersession) fails here.
+	{"flash-crowd-reactive", "drrs", 5, 0x3d5a2fbe3a92a654},
 }
 
 // TestGoldenDigests replays each pinned scenario and compares the digest.
@@ -35,7 +43,10 @@ func TestGoldenDigests(t *testing.T) {
 	for _, c := range goldenDigests {
 		c := c
 		t.Run(c.scenario+"/"+c.mech, func(t *testing.T) {
-			o := ScenarioByName(c.scenario, c.seed).Run(Mechanisms(c.mech))
+			// RunWith with a fresh-factory: controller scenarios launch as
+			// many operations as the policy decides.
+			o := ScenarioByName(c.scenario, c.seed).
+				RunWith(func() scaling.Mechanism { return Mechanisms(c.mech) })
 			if got := OutcomeDigest(o); got != c.want {
 				t.Errorf("outcome digest 0x%016x, want 0x%016x — the refactor changed simulation semantics",
 					got, c.want)

@@ -58,6 +58,18 @@ func init() {
 	Register(Definition{Name: "twitch-rebound",
 		Description: "Twitch pipeline scaling 8→12 and back 12→8 once the crowd disperses",
 		New:         TwitchReboundScenario})
+	// The closed-loop track: scaling is triggered by the workload itself —
+	// a control policy observing backlog/throughput/latency decides when and
+	// how far to scale, instead of a pre-scripted wave program.
+	Register(Definition{Name: "flash-crowd-reactive",
+		Description: "1.5× flash crowd with the backlog policy chasing the spike (no script)",
+		New:         FlashCrowdReactiveScenario})
+	Register(Definition{Name: "diurnal-autoscale",
+		Description: "day/night ramp with the predictive policy scaling into the trend",
+		New:         DiurnalAutoscaleScenario})
+	Register(Definition{Name: "oscillation-guard",
+		Description: "hotshift drift under the threshold policy; debounce+hysteresis damp flapping",
+		New:         OscillationGuardScenario})
 }
 
 // Q7Scenario reproduces the NEXMark Q7 setup: high input rate, short
@@ -225,6 +237,44 @@ func HotShiftScenario(seed int64) Scenario {
 	sc := shapedScenario("hotshift", 1.0,
 		workload.HotKeyDrift(simtime.Sec(2), 0.04), nil, seed)
 	sc.NewParallelism = 12
+	return sc
+}
+
+// FlashCrowdReactiveScenario is the closed-loop flagship: a 1.5× flash crowd
+// arrives right after warmup with no scripted response — the backlog policy
+// sees source queues grow (offered 6K rec/s against ~5.3K capacity at 8
+// instances), scales out into the spike, and chases the drain back down once
+// the crowd disperses. NewParallelism=12 remains as the scripted fallback so
+// `-driver script` runs the paper-style comparison on the same workload.
+func FlashCrowdReactiveScenario(seed int64) Scenario {
+	sc := shapedScenario("flash-crowd-reactive", 0.8,
+		workload.FlashCrowd(shapeWarmup, simtime.Sec(10), 1.5), nil, seed)
+	sc.NewParallelism = 12
+	sc.Driver = &ControllerDriver{Policy: "backlog", Min: 4, Max: 16}
+	return sc
+}
+
+// DiurnalAutoscaleScenario drives the compressed day/night ramp with the
+// predictive policy: the least-squares trend over recent throughput scales
+// out on the rising edge — before queues form — and back down the far side.
+func DiurnalAutoscaleScenario(seed int64) Scenario {
+	sc := shapedScenario("diurnal-autoscale", 0.5,
+		workload.Diurnal(simtime.Sec(24), 0.7, 1.1), nil, seed)
+	sc.NewParallelism = 12
+	sc.Driver = &ControllerDriver{Policy: "predictive", Min: 4, Max: 16}
+	return sc
+}
+
+// OscillationGuardScenario stresses the controller's damping: hot-key drift
+// at skew 1.0 produces transient per-instance hotspots whose backlog blips
+// would flap a naive autoscaler. The threshold policy runs with the default
+// debounce and hysteresis; the audit trail records how many decisions
+// actually fire.
+func OscillationGuardScenario(seed int64) Scenario {
+	sc := shapedScenario("oscillation-guard", 1.0,
+		workload.HotKeyDrift(simtime.Sec(2), 0.04), nil, seed)
+	sc.NewParallelism = 12
+	sc.Driver = &ControllerDriver{Policy: "threshold", Min: 4, Max: 16}
 	return sc
 }
 

@@ -1,0 +1,288 @@
+// Package control is the reactive control plane: instead of a pre-scripted
+// wave program deciding when and how far the job rescales, a Policy observes
+// a cadence-sampled Snapshot of the running system (source backlog, emission
+// rate, marker latency, in-flight operation progress) and emits scaling
+// Actions. The Controller runs the policy on the simulated clock, debounces
+// its decisions, launches mechanisms through the lifecycle-observable
+// scaling.Mechanism interface, and — when a decision lands mid-operation —
+// supersedes the in-flight operation per the paper's concurrent-execution
+// rule 1: the old operation is cancelled, and the replacement plan comes
+// from scaling.PlanFromPlacement so already-migrated key groups never move
+// twice.
+//
+// Everything the controller reads derives from the seeded simulation, so
+// closed-loop runs are exactly as deterministic as scripted ones.
+package control
+
+import (
+	"drrs/internal/engine"
+	"drrs/internal/scaling"
+	"drrs/internal/simtime"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Operator is the operator being scaled.
+	Operator string
+	// Policy decides. The controller owns it for the run.
+	Policy Policy
+	// Cadence is the snapshot sampling period (default 500 ms).
+	Cadence simtime.Duration
+	// Window is the lookback for rate/latency sampling (default 4×Cadence).
+	Window simtime.Duration
+	// HoldOff suppresses actions before this instant (warmup guard);
+	// sampling still runs so trend policies enter it warm.
+	HoldOff simtime.Time
+	// Stop ends sampling (the run horizon): no decision may launch into the
+	// post-measurement drain. Required — the cadence loop re-arms itself, so
+	// without a stop instant a post-horizon scheduler drain never empties.
+	Stop simtime.Time
+	// Debounce is the minimum spacing between accepted decisions
+	// (default 2 s) — the oscillation guard.
+	Debounce simtime.Duration
+	// Min and Max bound the reachable parallelism.
+	Min, Max int
+	// Setup is the plan's physical deployment delay.
+	Setup simtime.Duration
+	// InitialParallelism seeds the logical parallelism before the first
+	// operation.
+	InitialParallelism int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cadence == 0 {
+		c.Cadence = 500 * simtime.Millisecond
+	}
+	if c.Window == 0 {
+		c.Window = 4 * c.Cadence
+	}
+	if c.Debounce == 0 {
+		c.Debounce = 2 * simtime.Second
+	}
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 1 << 30
+	}
+}
+
+// Decision is one audit-trail entry: what the policy saw, what it asked
+// for, and what became of the request.
+type Decision struct {
+	// Seq numbers decisions within the run.
+	Seq int
+	// At is the decision instant; Policy and Reason describe the trigger.
+	At     simtime.Time
+	Policy string
+	Reason string
+	// From is the parallelism the system was heading to when the decision
+	// fired; To is the decision's (clamped) target.
+	From, To int
+	// Superseded reports the decision preempted an in-flight operation: the
+	// old operation was cancelled and this launch waited for it to settle.
+	Superseded bool
+	// Launched/LaunchedAt report the resulting operation's start. A decision
+	// that was itself replaced while waiting never launches.
+	Launched   bool
+	LaunchedAt simtime.Time
+	// Done/DoneAt report the operation's completion.
+	Done   bool
+	DoneAt simtime.Time
+}
+
+// Hooks are the harness integration points.
+type Hooks struct {
+	// WillLaunch fires right before the mechanism Begins an operation (the
+	// bench harness swaps per-operation metrics collectors here). The
+	// returned callback — if any — fires when the operation completes.
+	WillLaunch func(d Decision, plan scaling.Plan) func()
+}
+
+// Controller runs one policy against one runtime.
+type Controller struct {
+	cfg     Config
+	rt      *engine.Runtime
+	newMech func() scaling.Mechanism
+	hooks   Hooks
+
+	decisions []Decision
+	cur       scaling.Operation
+	curIdx    int // decision index of the in-flight operation
+	pending   int // decision index waiting on supersession, -1 when none
+	curP      int // logical parallelism (target of the last completed op)
+	lastAct   simtime.Time
+	acted     bool
+}
+
+// New builds a controller. Call Start before running the scheduler.
+func New(rt *engine.Runtime, cfg Config, newMech func() scaling.Mechanism, hooks Hooks) *Controller {
+	if cfg.Stop <= 0 {
+		panic("control: Config.Stop must be set — the sampling loop re-arms every cadence tick and would keep the scheduler drain alive forever")
+	}
+	cfg.fillDefaults()
+	if cfg.InitialParallelism <= 0 {
+		cfg.InitialParallelism = len(rt.Instances(cfg.Operator))
+	}
+	return &Controller{
+		cfg:     cfg,
+		rt:      rt,
+		newMech: newMech,
+		hooks:   hooks,
+		curP:    cfg.InitialParallelism,
+		pending: -1,
+	}
+}
+
+// Start arms the sampling loop.
+func (c *Controller) Start() { c.schedule() }
+
+// Decisions returns the audit trail (shared slice; callers must not mutate).
+func (c *Controller) Decisions() []Decision { return c.decisions }
+
+// Parallelism reports the logical parallelism: the target of the last
+// completed operation.
+func (c *Controller) Parallelism() int { return c.curP }
+
+// target is where the system is heading: pending supersession first, then
+// the in-flight operation, then the settled parallelism.
+func (c *Controller) target() int {
+	if c.pending >= 0 {
+		return c.decisions[c.pending].To
+	}
+	if c.cur != nil {
+		return c.decisions[c.curIdx].To
+	}
+	return c.curP
+}
+
+func (c *Controller) schedule() {
+	c.rt.Sched.After(c.cfg.Cadence, c.tick)
+}
+
+func (c *Controller) tick() {
+	now := c.rt.Sched.Now()
+	if now > c.cfg.Stop {
+		return
+	}
+	s := c.Sample()
+	acts := c.cfg.Policy.Observe(s)
+	if now >= c.cfg.HoldOff {
+		c.consider(now, acts)
+	}
+	c.schedule()
+}
+
+// Sample assembles the policy's snapshot from the runtime's trackers.
+func (c *Controller) Sample() Snapshot {
+	now := c.rt.Sched.Now()
+	from := now.Add(-c.cfg.Window)
+	s := Snapshot{
+		At:                now,
+		Parallelism:       c.curP,
+		TargetParallelism: c.target(),
+		SourceBacklog:     c.rt.SourceBacklog(),
+		ThroughputRPS:     c.rt.Throughput.RateIn(from, now),
+		AvgLatencyMs:      c.rt.Latency.AvgIn(from, now),
+	}
+	if c.cur != nil {
+		s.Busy = true
+		s.Op = c.cur.Progress()
+	}
+	return s
+}
+
+// consider applies the first actionable entry: clamp, drop no-ops, debounce,
+// then either launch or supersede.
+func (c *Controller) consider(now simtime.Time, acts []Action) {
+	for _, a := range acts {
+		to := a.Target
+		if to < c.cfg.Min {
+			to = c.cfg.Min
+		}
+		if to > c.cfg.Max {
+			to = c.cfg.Max
+		}
+		if to == c.target() {
+			continue
+		}
+		if c.acted && now.Sub(c.lastAct) < c.cfg.Debounce {
+			return
+		}
+		c.lastAct, c.acted = now, true
+		d := Decision{
+			Seq:    len(c.decisions),
+			At:     now,
+			Policy: c.cfg.Policy.Name(),
+			Reason: a.Reason,
+			From:   c.target(),
+			To:     to,
+		}
+		if c.cur != nil {
+			// Concurrent-execution rule: the newer request terminates the
+			// older one. Cancel stops mechanisms that honor it from
+			// launching further migration work; either way the replacement
+			// waits for the old operation's done, then plans from the actual
+			// (partially migrated) placement. pending must be set before
+			// Cancel: a mechanism with nothing in flight (still deploying,
+			// or between subscale batches) completes synchronously inside
+			// Cancel, and its done callback is what launches the
+			// replacement.
+			d.Superseded = true
+			c.decisions = append(c.decisions, d)
+			c.pending = d.Seq
+			c.cur.Cancel()
+			return
+		}
+		c.decisions = append(c.decisions, d)
+		c.launch(d.Seq)
+		return
+	}
+}
+
+// launch begins decision di's operation from the actual current placement.
+// Decisions are always re-resolved by index: the audit slice's backing array
+// moves as later decisions append.
+func (c *Controller) launch(di int) {
+	now := c.rt.Sched.Now()
+	if now > c.cfg.Stop {
+		// The supersession chain outran the measured run; launching into the
+		// drain would measure an idle system.
+		return
+	}
+	d := &c.decisions[di]
+	plan := scaling.PlanFromPlacement(c.rt, c.cfg.Operator, d.To, c.cfg.Setup)
+	var onDone func()
+	if c.hooks.WillLaunch != nil {
+		onDone = c.hooks.WillLaunch(*d, plan)
+	}
+	d.Launched = true
+	d.LaunchedAt = now
+	c.curIdx = di
+	target := d.To
+	mech := c.newMech()
+	var op scaling.Operation
+	op = mech.Begin(c.rt, plan, func() {
+		d := &c.decisions[di]
+		d.Done = true
+		d.DoneAt = c.rt.Sched.Now()
+		if op == nil || !op.Progress().Cancelled {
+			// A cancelled operation settled short of its target (unlaunched
+			// work dropped); claiming the target would misreport the
+			// operator's parallelism to every later snapshot. The
+			// superseding launch re-plans from actual placement and updates
+			// curP when it completes.
+			c.curP = target
+		}
+		c.cur = nil
+		if onDone != nil {
+			onDone()
+		}
+		if c.pending >= 0 {
+			next := c.pending
+			c.pending = -1
+			c.launch(next)
+		}
+	})
+	c.cur = op
+}

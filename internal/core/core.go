@@ -177,6 +177,7 @@ type Mechanism struct {
 	// MaxActive records the peak number of concurrently running subscales
 	// (observable evidence for the scheduler's concurrency threshold).
 	MaxActive int
+	deployed  bool
 	finished  bool
 	cleaned   bool
 	cancelled bool
@@ -204,7 +205,45 @@ func (m *Mechanism) Name() string {
 	}
 }
 
-// Start implements scaling.Mechanism.
+// operation is the lifecycle handle over the DRRS coordinator: progress maps
+// directly onto the coordinator's own bookkeeping, and Cancel is honored —
+// subscales not yet launched are dropped and the operation settles early
+// (the paper's concurrent-execution rule).
+type operation struct{ m *Mechanism }
+
+func (o operation) Progress() scaling.Progress {
+	p := scaling.Progress{Total: len(o.m.plan.Moves), Moved: len(o.m.chunkAt), Cancelled: o.m.cancelled}
+	switch {
+	case o.m.finished:
+		p.Phase = scaling.PhaseDone
+	case !o.m.deployed:
+		p.Phase = scaling.PhaseDeploy
+	case p.Moved < p.Total:
+		p.Phase = scaling.PhaseMigrate
+	default:
+		p.Phase = scaling.PhaseDrain
+	}
+	return p
+}
+
+func (o operation) Cancel() bool {
+	o.m.Cancel()
+	return true
+}
+
+// Begin implements the lifecycle scaling.Mechanism interface. The DR
+// coordinator reports native phases and honors cancellation; the coupled
+// ablation variants (no DR) ride the legacy adapter, since the coupled
+// barrier protocol has no cancellation path.
+func (m *Mechanism) Begin(rt *engine.Runtime, plan scaling.Plan, done func()) scaling.Operation {
+	if !m.Opt.DR {
+		return scaling.BeginLegacy(m, rt, plan, done)
+	}
+	m.Start(rt, plan, done)
+	return operation{m}
+}
+
+// Start implements scaling.Starter.
 func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
 	if !m.Opt.DR {
 		m.startCoupled(rt, plan, done)
@@ -238,6 +277,7 @@ func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
 	}
 
 	scaling.Deploy(rt, plan, func(added []*engine.Instance) {
+		m.deployed = true
 		m.preds = rt.PredecessorInstances(m.op)
 		// Count expected confirms: one per (pred, src, dst) triple.
 		for _, s := range m.subs {
@@ -533,6 +573,15 @@ func (m *Mechanism) maybeFinish() {
 		m.maybeCleanup()
 		return
 	}
+	if !m.deployed {
+		// A cancellation before deployment completes cannot settle yet: the
+		// physical deployment is already in flight (scaling.Deploy's timer
+		// will add the instances regardless), so reporting done here would
+		// let a superseding operation plan against an instance set that is
+		// about to change under it. The deploy callback re-runs the
+		// scheduler, which lands back here once the instances exist.
+		return
+	}
 	for _, s := range m.subs {
 		if !s.completed && !(m.cancelled && !s.launched) {
 			return
@@ -559,8 +608,21 @@ func (m *Mechanism) maybeCleanup() {
 		}
 	}
 	m.cleaned = true
-	for key, e := range m.rerouteEdges {
-		m.rt.DetachInput(m.rt.Instance(m.op, key[1]), e)
+	// Detach in sorted (src, dst) order: map iteration would vary the order
+	// edges leave each instance's input list between identical runs, and the
+	// controller path polls instances right through cleanup.
+	keys := make([][2]int, 0, len(m.rerouteEdges))
+	for key := range m.rerouteEdges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		m.rt.DetachInput(m.rt.Instance(m.op, key[1]), m.rerouteEdges[key])
 	}
 	for _, in := range m.rt.Instances(m.op) {
 		in.SetHook(nil)

@@ -139,10 +139,12 @@ func withUpdates(wl workload.Config) workload.Config {
 	return wl
 }
 
-// TestSupersession exercises the paper's concurrent-request rule: a newer
-// scaling request on the same operator terminates the older one, and the
-// superseding plan is computed from actual placement so nothing migrates
-// twice.
+// TestSupersession exercises the paper's concurrent-request rule under
+// scripted driving: a newer scaling request on the same operator terminates
+// the older one mid-migration, and the superseding plan is computed from
+// actual placement so nothing the cancelled operation already moved migrates
+// twice. The whole exchange goes through the lifecycle Mechanism surface
+// (Begin/Progress/Cancel) — the same path the reactive controller drives.
 func TestSupersession(t *testing.T) {
 	wl := scaletest.DefaultWorkload(82)
 	wl.Duration = simtime.Sec(5)
@@ -154,13 +156,23 @@ func TestSupersession(t *testing.T) {
 	rt.Start()
 
 	first := New(FullDRRS())
+	var firstOp scaling.Operation
 	var firstDone, secondDone bool
+	var progressAtCancel scaling.Progress
 	s.After(simtime.Sec(1), func() {
-		first.Start(rt, scaling.UniformPlan(g, "agg", 6, simtime.Ms(20)), func() { firstDone = true })
+		firstOp = first.Begin(rt, scaling.UniformPlan(g, "agg", 6, simtime.Ms(20)), func() { firstDone = true })
+		if ph := firstOp.Progress().Phase; ph != scaling.PhaseDeploy {
+			t.Errorf("freshly begun operation reports phase %v, want deploy", ph)
+		}
 	})
 	s.After(simtime.Sec(1)+simtime.Ms(80), func() {
-		// Rapid load fluctuation: supersede 4→6 with →8.
-		first.Cancel()
+		// Rapid load fluctuation: supersede 4→6 with →8. The rule is only
+		// exercised if the cancellation lands mid-migration — some groups
+		// moved, some not.
+		progressAtCancel = firstOp.Progress()
+		if !firstOp.Cancel() {
+			t.Error("DRRS must honor cancellation")
+		}
 	})
 	s.RunUntil(simtime.Time(simtime.Ms(1200)))
 	// Wait for the first mechanism to drain its active subscales.
@@ -169,10 +181,17 @@ func TestSupersession(t *testing.T) {
 	if !first.Finished() {
 		t.Fatal("cancelled mechanism never settled")
 	}
+	if progressAtCancel.Phase != scaling.PhaseMigrate ||
+		progressAtCancel.Moved == 0 || progressAtCancel.Moved >= progressAtCancel.Total {
+		t.Fatalf("cancellation did not land mid-migration: %+v (rig needs retuning)", progressAtCancel)
+	}
+	if pr := firstOp.Progress(); pr.Phase != scaling.PhaseDone || !pr.Cancelled {
+		t.Fatalf("settled cancelled operation reports %+v", pr)
+	}
 
 	second := New(FullDRRS())
 	plan2 := scaling.PlanFromPlacement(rt, "agg", 8, simtime.Ms(20))
-	second.Start(rt, plan2, func() { secondDone = true })
+	second.Begin(rt, plan2, func() { secondDone = true })
 	s.RunUntil(simtime.Time(wl.Duration))
 	rt.StopMarkers()
 	s.Run()

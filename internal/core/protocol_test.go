@@ -78,7 +78,7 @@ func TestOutboxRedirectionPreservesOrder(t *testing.T) {
 
 	// The new channel's queue must contain only records of moved groups, in
 	// ascending key order (keys were emitted in order and share the queue).
-	moved := plan.MovedSet()
+	moved := plan.Moved()
 	edgeNew := src.OutEdges("agg")[1]
 	var lastSeq uint64
 	checkQueue := func(m netsim.Message) {
@@ -86,7 +86,7 @@ func TestOutboxRedirectionPreservesOrder(t *testing.T) {
 		if !ok {
 			return
 		}
-		if !moved[r.KeyGroup] {
+		if !moved.Has(r.KeyGroup) {
 			t.Fatalf("unmoved group %d redirected", r.KeyGroup)
 		}
 		if r.Seq < lastSeq {
@@ -109,7 +109,7 @@ func TestOutboxRedirectionPreservesOrder(t *testing.T) {
 		if confirmSeen {
 			break
 		}
-		if r, ok := m.(*netsim.Record); ok && moved[r.KeyGroup] {
+		if r, ok := m.(*netsim.Record); ok && moved.Has(r.KeyGroup) {
 			t.Fatalf("moved-group record (kg %d) left ahead of the confirm barrier", r.KeyGroup)
 		}
 	}

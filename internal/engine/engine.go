@@ -336,6 +336,23 @@ func (rt *Runtime) RunFor(d simtime.Duration) {
 	rt.Sched.RunUntil(rt.Sched.Now().Add(d))
 }
 
+// SourceBacklog sums the ingest backlogs across every source instance — the
+// demand pressure the data plane has not yet absorbed, and the reactive
+// control plane's primary signal (backpressure from a saturated operator
+// stalls source emission, so unabsorbed load piles up here).
+func (rt *Runtime) SourceBacklog() int {
+	n := 0
+	for _, name := range rt.Graph.Topological() {
+		if rt.Graph.Operator(name).Source == nil {
+			continue
+		}
+		for _, in := range rt.instances[name] {
+			n += in.BacklogLen()
+		}
+	}
+	return n
+}
+
 // TotalStateBytes sums keyed state across an operator's instances.
 func (rt *Runtime) TotalStateBytes(op string) int {
 	var sum int

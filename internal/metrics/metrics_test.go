@@ -192,6 +192,37 @@ func TestThroughputTracker(t *testing.T) {
 	}
 }
 
+func TestThroughputRateIn(t *testing.T) {
+	tr := NewThroughputTracker(simtime.Second)
+	tr.Observe(simtime.Time(simtime.Sec(0.5)), 100)
+	tr.Observe(simtime.Time(simtime.Sec(1.5)), 50)
+	tr.Observe(simtime.Time(simtime.Sec(2.5)), 150)
+	// Whole window: 300 records over 3 bucket-seconds.
+	if got := tr.RateIn(0, simtime.Time(simtime.Sec(3))); got != 100 {
+		t.Fatalf("RateIn(0,3s) = %v, want 100", got)
+	}
+	// A window inside one bucket reads that bucket's rate.
+	if got := tr.RateIn(simtime.Time(simtime.Sec(1)), simtime.Time(simtime.Sec(1.5))); got != 50 {
+		t.Fatalf("RateIn(1s,1.5s) = %v, want 50", got)
+	}
+	// Negative from clamps to the origin (early-run sampling windows).
+	if got := tr.RateIn(simtime.Time(-simtime.Sec(1)), simtime.Time(simtime.Sec(1))); got != 100 {
+		t.Fatalf("RateIn(-1s,1s) = %v, want 100", got)
+	}
+	// A partially elapsed trailing bucket is excluded, not diluted: the
+	// window [0, 1.5s) covers only bucket 0 completely.
+	if got := tr.RateIn(0, simtime.Time(simtime.Sec(1.5))); got != 100 {
+		t.Fatalf("RateIn(0,1.5s) = %v, want 100 (partial bucket must not dilute)", got)
+	}
+	// Empty and degenerate windows report 0.
+	if got := tr.RateIn(simtime.Time(simtime.Sec(2)), simtime.Time(simtime.Sec(2))); got != 0 {
+		t.Fatalf("empty window = %v, want 0", got)
+	}
+	if got := NewThroughputTracker(simtime.Second).RateIn(0, simtime.Time(simtime.Sec(1))); got != 0 {
+		t.Fatalf("empty tracker = %v, want 0", got)
+	}
+}
+
 func TestThroughputDeviation(t *testing.T) {
 	tr := NewThroughputTracker(simtime.Second)
 	// 3 buckets at 100, 50, 150 against target 100 → shortfalls 0, 50, 0 → mean 50/3

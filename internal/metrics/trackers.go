@@ -133,6 +133,37 @@ func (t *ThroughputTracker) Series() *Series {
 	return s
 }
 
+// RateIn reports the mean emission rate (records/s) over [from, to),
+// measured on the buckets fully contained in the window — a partially
+// elapsed trailing bucket divided by the full bucket width would read
+// systematically low on mid-bucket samples, sawtoothing any controller that
+// polls off the bucket grid. Windows narrower than one full bucket fall
+// back to whole-overlapping-bucket averaging. Negative from clamps to zero
+// (early-run sampling windows reach before the origin). An empty tracker
+// reports 0.
+func (t *ThroughputTracker) RateIn(from, to simtime.Time) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to <= from || !t.has {
+		return 0
+	}
+	// First and last bucket indices fully inside [from, to).
+	b0 := (int64(from) + int64(t.Bucket) - 1) / int64(t.Bucket)
+	b1 := int64(to)/int64(t.Bucket) - 1
+	if b1 < b0 {
+		// Sub-bucket window: average over every overlapping bucket.
+		b0 = int64(from) / int64(t.Bucket)
+		b1 = (int64(to) - 1) / int64(t.Bucket)
+	}
+	var sum int64
+	for b := b0; b <= b1; b++ {
+		sum += t.counts[b]
+	}
+	seconds := float64(b1-b0+1) * float64(t.Bucket) / float64(simtime.Second)
+	return float64(sum) / seconds
+}
+
 // Total reports the total records observed.
 func (t *ThroughputTracker) Total() int64 {
 	var sum int64

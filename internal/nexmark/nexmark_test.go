@@ -22,7 +22,7 @@ func runQ7(t *testing.T, mech scaling.Mechanism, dur simtime.Duration) (*engine.
 	rt.Start()
 	if mech != nil {
 		s.After(simtime.Sec(1), func() {
-			mech.Start(rt, scaling.UniformPlan(g, "winmax", 6, simtime.Ms(20)), nil)
+			mech.Begin(rt, scaling.UniformPlan(g, "winmax", 6, simtime.Ms(20)), nil)
 		})
 	}
 	s.RunUntil(simtime.Time(dur))

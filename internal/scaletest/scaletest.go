@@ -42,7 +42,8 @@ type Result struct {
 	Sink     *engine.CollectSink
 	Plan     scaling.Plan
 	Mech     scaling.Mechanism
-	Done     bool // the mechanism reported completion
+	Op       scaling.Operation // lifecycle handle of the scaling operation
+	Done     bool              // the mechanism reported completion
 	ScaleAt  simtime.Time
 	Duration simtime.Duration // virtual time simulated
 }
@@ -78,7 +79,7 @@ func (r Run) Execute() Result {
 		s.After(r.ScaleAt, func() {
 			res.ScaleAt = s.Now()
 			res.Plan = scaling.UniformPlan(g, "agg", r.NewParallelism, setup)
-			r.Mechanism.Start(rt, res.Plan, func() { res.Done = true })
+			res.Op = r.Mechanism.Begin(rt, res.Plan, func() { res.Done = true })
 		})
 	}
 	// Run generation, then drain: markers off, let every queued event (state

@@ -56,7 +56,7 @@ type CoupledController struct {
 	nextInj int     // next round to inject
 	done    func()
 
-	moved    map[int]bool
+	moved    KeyGroupSet
 	aligned  map[int]map[int]bool // round → old-instance set aligned
 	migDone  map[int]bool         // round → migration complete
 	oldCount int
@@ -75,7 +75,7 @@ func NewCoupledController(plan Plan, rounds [][]int) *CoupledController {
 		plan:    plan,
 		rounds:  rounds,
 		scaleID: coupledIDs.Add(1),
-		moved:   plan.MovedSet(),
+		moved:   plan.Moved(),
 		aligned: make(map[int]map[int]bool),
 		migDone: make(map[int]bool),
 	}
@@ -113,14 +113,10 @@ func (c *CoupledController) Start(rt *engine.Runtime, done func()) {
 	c.rt = rt
 	c.done = done
 	c.oldCount = c.plan.OldParallelism
-	for _, m := range c.plan.Moves {
-		// Units are assigned to their round's signal for Fig 12b accounting.
-		for r, kgs := range c.rounds {
-			for _, kg := range kgs {
-				if kg == m.KeyGroup {
-					rt.Scale.UnitAssigned(kg, c.signal(r))
-				}
-			}
+	// Units are assigned to their round's signal for Fig 12b accounting.
+	for r, kgs := range c.rounds {
+		for _, kg := range kgs {
+			rt.Scale.UnitAssigned(kg, c.signal(r))
 		}
 	}
 	c.mig = NewMigrator(rt, c.plan, nil)
@@ -203,10 +199,8 @@ func (c *CoupledController) isPred(in *engine.Instance) bool {
 func (c *CoupledController) applyRouting(p *engine.Instance, r int) {
 	tbl := p.Routing(c.plan.Operator)
 	for _, kg := range c.rounds[r] {
-		for _, m := range c.plan.Moves {
-			if m.KeyGroup == kg {
-				tbl.SetOwner(kg, m.To)
-			}
+		if m, ok := c.plan.Move(kg); ok {
+			tbl.SetOwner(kg, m.To)
 		}
 	}
 }
@@ -264,10 +258,8 @@ func (c *CoupledController) oldInstanceAligned(idx, r int) {
 }
 
 func (c *CoupledController) moveOf(kg int) (mv struct{ From, To int }) {
-	for _, m := range c.plan.Moves {
-		if m.KeyGroup == kg {
-			return struct{ From, To int }{m.From, m.To}
-		}
+	if m, ok := c.plan.Move(kg); ok {
+		return struct{ From, To int }{m.From, m.To}
 	}
 	panic("scaling: unknown kg")
 }
@@ -347,7 +339,7 @@ func (h *coupledOpHook) OnScaleMessage(in *engine.Instance, m netsim.Message, e 
 }
 
 func (h *coupledOpHook) Processable(in *engine.Instance, r *netsim.Record, _ *netsim.Edge) bool {
-	if !h.c.moved[r.KeyGroup] {
+	if !h.c.moved.Has(r.KeyGroup) {
 		return true
 	}
 	// A migrating group's records are processable wherever its state

@@ -1,0 +1,128 @@
+package scaling
+
+import (
+	"drrs/internal/engine"
+	"drrs/internal/metrics"
+)
+
+// Phase identifies where an in-flight scaling operation stands in its
+// lifecycle. Every mechanism moves through the same coarse phases — physical
+// deployment, state migration, protocol drain — even though the fine
+// structure (subscales, rounds, on-demand fetches) differs per mechanism.
+type Phase uint8
+
+const (
+	// PhaseDeploy: resources are initializing (SetupDelay, instance wiring);
+	// no state has moved yet.
+	PhaseDeploy Phase = iota
+	// PhaseMigrate: key groups are in flight between instances.
+	PhaseMigrate
+	// PhaseDrain: every planned key group has landed, but the mechanism's
+	// protocol is still settling (re-route channels draining, final barriers,
+	// restart of halted instances) before it reports completion.
+	PhaseDrain
+	// PhaseDone: the operation reported completion (or was fully superseded).
+	PhaseDone
+)
+
+// String renders the phase for reports and audit trails.
+func (p Phase) String() string {
+	switch p {
+	case PhaseDeploy:
+		return "deploy"
+	case PhaseMigrate:
+		return "migrate"
+	case PhaseDrain:
+		return "drain"
+	case PhaseDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Progress is a point-in-time report of an in-flight scaling operation —
+// what a controller sees when it polls mid-operation to decide whether a
+// straggling migration should be superseded.
+type Progress struct {
+	Phase Phase
+	// Moved and Total count migrated versus planned key groups.
+	Moved, Total int
+	// Cancelled reports the operation was asked to stand down. The operation
+	// still runs launched work to completion (state is never stranded
+	// mid-flight) and fires its done callback when settled.
+	Cancelled bool
+}
+
+// Operation is the live handle Begin returns: observers poll Progress on the
+// simulated clock, and a superseding request Cancels the operation per the
+// paper's concurrent-execution rule 1. After a Cancel, the superseding plan
+// must come from PlanFromPlacement so key groups the cancelled operation
+// already moved are not migrated twice.
+type Operation interface {
+	// Progress reports the operation's current phase and migration counts.
+	Progress() Progress
+	// Cancel asks the operation to stand down: stop launching new migration
+	// work, finish what is in flight, then report done. It returns true when
+	// the mechanism honors cancellation; legacy mechanisms adapted through
+	// BeginLegacy return false and run their full plan to completion (the
+	// supersessor then launches once the old operation's done fires).
+	Cancel() bool
+}
+
+// Starter is the legacy fire-and-forget mechanism surface: Start begins the
+// operation and the only observable signal is the done callback. Mechanisms
+// migrate to the lifecycle Mechanism interface incrementally by routing
+// their Start through BeginLegacy.
+type Starter interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+	// Start begins scaling per plan; done (optional) fires when the scaling
+	// operation has fully completed (all state migrated, protocol drained).
+	Start(rt *engine.Runtime, plan Plan, done func())
+}
+
+// BeginLegacy adapts a Starter to the lifecycle Mechanism contract: it runs
+// Start and returns an Operation whose progress is inferred from the
+// runtime's active ScalingMetrics collector (captured at Begin time, so
+// per-wave collector swaps attribute counts to the right operation). Cancel
+// is recorded but not honored — the legacy mechanism runs to completion.
+func BeginLegacy(s Starter, rt *engine.Runtime, plan Plan, done func()) Operation {
+	op := &legacyOperation{scale: rt.Scale, total: len(plan.Moves)}
+	s.Start(rt, plan, func() {
+		op.finished = true
+		if done != nil {
+			done()
+		}
+	})
+	return op
+}
+
+// legacyOperation infers lifecycle phases from delay-accounting metrics:
+// nothing migrated yet reads as deploy, partial migration as migrate, full
+// migration without the done callback as drain.
+type legacyOperation struct {
+	scale     *metrics.ScalingMetrics
+	total     int
+	finished  bool
+	cancelled bool
+}
+
+func (o *legacyOperation) Progress() Progress {
+	p := Progress{Moved: o.scale.UnitsMigrated(), Total: o.total, Cancelled: o.cancelled}
+	switch {
+	case o.finished:
+		p.Phase = PhaseDone
+	case p.Moved == 0 && p.Total > 0:
+		p.Phase = PhaseDeploy
+	case p.Moved < p.Total:
+		p.Phase = PhaseMigrate
+	default:
+		p.Phase = PhaseDrain
+	}
+	return p
+}
+
+func (o *legacyOperation) Cancel() bool {
+	o.cancelled = true
+	return false
+}

@@ -56,7 +56,15 @@ func (m *Mechanism) Name() string { return "meces" }
 
 const signal = "meces"
 
-// Start implements scaling.Mechanism.
+// Begin implements the lifecycle scaling.Mechanism interface through the
+// legacy-start adapter: Fetch-on-Demand makes sub-unit locations demand-
+// driven, so a cancelled operation still migrates its remaining background
+// units to completion rather than stranding sub-key-groups mid-split.
+func (m *Mechanism) Begin(rt *engine.Runtime, plan scaling.Plan, done func()) scaling.Operation {
+	return scaling.BeginLegacy(m, rt, plan, done)
+}
+
+// Start implements scaling.Starter.
 func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
 	if m.SubKeyGroups <= 0 {
 		m.SubKeyGroups = 4

@@ -28,7 +28,15 @@ type Mechanism struct {
 // Name implements scaling.Mechanism.
 func (m *Mechanism) Name() string { return "megaphone" }
 
-// Start implements scaling.Mechanism.
+// Begin implements the lifecycle scaling.Mechanism interface through the
+// legacy-start adapter. Megaphone announces its whole reconfiguration
+// schedule up front, so a Cancel is recorded but the announced rounds run to
+// completion.
+func (m *Mechanism) Begin(rt *engine.Runtime, plan scaling.Plan, done func()) scaling.Operation {
+	return scaling.BeginLegacy(m, rt, plan, done)
+}
+
+// Start implements scaling.Starter.
 func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
 	batch := m.BatchKGs
 	if batch <= 0 {

@@ -27,6 +27,35 @@ type Plan struct {
 	// task deployment) before new instances are operational — part of the
 	// paper's inherent overhead Lo.
 	SetupDelay simtime.Duration
+
+	// index accelerates MovesFrom/Move lookups; built by Finalize (the plan
+	// constructors call it). Plans assembled literally fall back to scanning
+	// Moves. The index is shared by value copies of the plan, which is safe:
+	// it is read-only after Finalize.
+	index *planIndex
+}
+
+// planIndex is the precomputed lookup structure over Plan.Moves: the
+// migrators resolve per-source move lists and per-key-group moves on every
+// migration step, which was an O(moves) scan per call.
+type planIndex struct {
+	bySrc map[int][]dataflow.Move
+	byKG  map[int]int // key group → position in Moves
+}
+
+// Finalize builds the plan's move index. It is idempotent; call it after
+// assembling Moves by hand to get indexed lookups (the constructors in this
+// package already do).
+func (p *Plan) Finalize() {
+	idx := &planIndex{
+		bySrc: make(map[int][]dataflow.Move),
+		byKG:  make(map[int]int, len(p.Moves)),
+	}
+	for i, m := range p.Moves {
+		idx.bySrc[m.From] = append(idx.bySrc[m.From], m)
+		idx.byKG[m.KeyGroup] = i
+	}
+	p.index = idx
 }
 
 // UniformPlan builds the paper's default plan: scale op to newP instances
@@ -39,13 +68,15 @@ func UniformPlan(g *dataflow.Graph, op string, newP int, setup simtime.Duration)
 	if !spec.KeyedInput {
 		panic(fmt.Sprintf("scaling: operator %s is not keyed", op))
 	}
-	return Plan{
+	p := Plan{
 		Operator:       op,
 		OldParallelism: spec.Parallelism,
 		NewParallelism: newP,
 		Moves:          dataflow.UniformRepartition(spec.MaxKeyGroups, spec.Parallelism, newP),
 		SetupDelay:     setup,
 	}
+	p.Finalize()
+	return p
 }
 
 // NewRouting builds the routing table for the post-scaling assignment.
@@ -58,8 +89,12 @@ func (p Plan) NewRouting(maxKG int) *dataflow.RoutingTable {
 }
 
 // MovesFrom returns the plan's moves leaving instance idx, in key-group
-// order.
+// order. Finalized plans answer from the per-source index; hand-assembled
+// plans fall back to scanning Moves.
 func (p Plan) MovesFrom(idx int) []dataflow.Move {
+	if p.index != nil {
+		return p.index.bySrc[idx]
+	}
 	var out []dataflow.Move
 	for _, m := range p.Moves {
 		if m.From == idx {
@@ -69,11 +104,73 @@ func (p Plan) MovesFrom(idx int) []dataflow.Move {
 	return out
 }
 
-// MovedSet returns the set of migrating key groups.
-func (p Plan) MovedSet() map[int]bool {
-	s := make(map[int]bool, len(p.Moves))
+// Move returns the plan's move for key group kg, if any.
+func (p Plan) Move(kg int) (dataflow.Move, bool) {
+	if p.index != nil {
+		if i, ok := p.index.byKG[kg]; ok {
+			return p.Moves[i], true
+		}
+		return dataflow.Move{}, false
+	}
 	for _, m := range p.Moves {
-		s[m.KeyGroup] = true
+		if m.KeyGroup == kg {
+			return m, true
+		}
+	}
+	return dataflow.Move{}, false
+}
+
+// KeyGroupSet is a bitset over key-group ids: O(1) membership, deterministic
+// ascending iteration, and no per-run map allocation churn — it replaces the
+// map[int]bool the per-record Processable gate used to consult.
+type KeyGroupSet struct {
+	bits []uint64
+	n    int
+}
+
+// Has reports membership. Out-of-range ids are simply absent.
+func (s KeyGroupSet) Has(kg int) bool {
+	w := kg >> 6
+	if kg < 0 || w >= len(s.bits) {
+		return false
+	}
+	return s.bits[w]&(1<<(uint(kg)&63)) != 0
+}
+
+// Len reports the number of key groups in the set.
+func (s KeyGroupSet) Len() int { return s.n }
+
+// Slice materializes the members in ascending order.
+func (s KeyGroupSet) Slice() []int {
+	out := make([]int, 0, s.n)
+	for w, bits := range s.bits {
+		for b := 0; bits != 0; b++ {
+			if bits&1 != 0 {
+				out = append(out, w<<6|b)
+			}
+			bits >>= 1
+		}
+	}
+	return out
+}
+
+func (s *KeyGroupSet) add(kg int) {
+	w := kg >> 6
+	for w >= len(s.bits) {
+		s.bits = append(s.bits, 0)
+	}
+	mask := uint64(1) << (uint(kg) & 63)
+	if s.bits[w]&mask == 0 {
+		s.bits[w] |= mask
+		s.n++
+	}
+}
+
+// Moved returns the set of migrating key groups.
+func (p Plan) Moved() KeyGroupSet {
+	var s KeyGroupSet
+	for _, m := range p.Moves {
+		s.add(m.KeyGroup)
 	}
 	return s
 }
@@ -103,22 +200,29 @@ func PlanFromPlacement(rt *engine.Runtime, op string, newP int, setup simtime.Du
 			moves = append(moves, dataflow.Move{KeyGroup: kg, From: from, To: to})
 		}
 	}
-	return Plan{
+	p := Plan{
 		Operator:       op,
 		OldParallelism: cur,
 		NewParallelism: newP,
 		Moves:          moves,
 		SetupDelay:     setup,
 	}
+	p.Finalize()
+	return p
 }
 
-// Mechanism is one rescaling approach.
+// Mechanism is one rescaling approach, lifecycle-observable: Begin returns a
+// live Operation handle that reports phase progress (deploy → migrate →
+// drain) and accepts supersession via Cancel. Mechanisms that only implement
+// the legacy Starter surface satisfy this interface by routing Begin through
+// BeginLegacy (see lifecycle.go).
 type Mechanism interface {
 	// Name identifies the mechanism in reports.
 	Name() string
-	// Start begins scaling per plan; done (optional) fires when the scaling
-	// operation has fully completed (all state migrated, protocol drained).
-	Start(rt *engine.Runtime, plan Plan, done func())
+	// Begin starts scaling per plan and returns the operation handle; done
+	// (optional) fires when the operation has fully completed — or, after a
+	// Cancel, when the work it could not abandon has settled.
+	Begin(rt *engine.Runtime, plan Plan, done func()) Operation
 }
 
 // Deploy performs the physical half of scaling shared by every mechanism:
@@ -288,10 +392,8 @@ func (m *Migrator) MigrateAllAtOnce(kgs []int, signal string, done func()) {
 }
 
 func (m *Migrator) findMove(kg int) dataflow.Move {
-	for _, mv := range m.plan.Moves {
-		if mv.KeyGroup == kg {
-			return mv
-		}
+	if mv, ok := m.plan.Move(kg); ok {
+		return mv
 	}
 	panic(fmt.Sprintf("scaling: kg %d not in plan", kg))
 }

@@ -43,16 +43,46 @@ func TestUniformPlanPanicsOnNonKeyed(t *testing.T) {
 func TestNewRoutingMatchesMoves(t *testing.T) {
 	plan, g := testPlan(t)
 	rt := plan.NewRouting(g.Operator("agg").MaxKeyGroups)
-	moved := plan.MovedSet()
+	moved := plan.Moved()
 	for _, m := range plan.Moves {
 		if rt.Owner(m.KeyGroup) != m.To {
 			t.Fatalf("kg %d routed to %d, want %d", m.KeyGroup, rt.Owner(m.KeyGroup), m.To)
 		}
 	}
 	for kg := 0; kg < 32; kg++ {
-		if !moved[kg] && rt.Owner(kg) >= 4 {
+		if !moved.Has(kg) && rt.Owner(kg) >= 4 {
 			t.Fatalf("unmoved kg %d routed to new instance %d", kg, rt.Owner(kg))
 		}
+	}
+}
+
+func TestKeyGroupSet(t *testing.T) {
+	plan, _ := testPlan(t)
+	moved := plan.Moved()
+	if moved.Len() != len(plan.Moves) {
+		t.Fatalf("Len %d, want %d", moved.Len(), len(plan.Moves))
+	}
+	want := map[int]bool{}
+	for _, m := range plan.Moves {
+		want[m.KeyGroup] = true
+	}
+	for kg := -1; kg < 200; kg++ {
+		if moved.Has(kg) != want[kg] {
+			t.Fatalf("Has(%d) = %v, want %v", kg, moved.Has(kg), want[kg])
+		}
+	}
+	last := -1
+	for _, kg := range moved.Slice() {
+		if kg <= last {
+			t.Fatalf("Slice not ascending: %d after %d", kg, last)
+		}
+		if !want[kg] {
+			t.Fatalf("Slice contains %d, not in plan", kg)
+		}
+		last = kg
+	}
+	if got := len(moved.Slice()); got != moved.Len() {
+		t.Fatalf("Slice length %d vs Len %d", got, moved.Len())
 	}
 }
 
@@ -69,6 +99,33 @@ func TestMovesFrom(t *testing.T) {
 	}
 	if total != len(plan.Moves) {
 		t.Fatalf("MovesFrom partition lost moves: %d vs %d", total, len(plan.Moves))
+	}
+}
+
+// TestMovesFromIndexMatchesScan pins the indexed lookups to the linear-scan
+// semantics: a finalized plan and an unindexed copy must agree on every
+// per-source list and per-group move.
+func TestMovesFromIndexMatchesScan(t *testing.T) {
+	plan, _ := testPlan(t)
+	bare := Plan{Operator: plan.Operator, OldParallelism: plan.OldParallelism,
+		NewParallelism: plan.NewParallelism, Moves: plan.Moves}
+	for idx := 0; idx < plan.NewParallelism; idx++ {
+		a, b := plan.MovesFrom(idx), bare.MovesFrom(idx)
+		if len(a) != len(b) {
+			t.Fatalf("MovesFrom(%d): indexed %d moves, scan %d", idx, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("MovesFrom(%d)[%d]: %+v vs %+v", idx, i, a[i], b[i])
+			}
+		}
+	}
+	for kg := 0; kg < 32; kg++ {
+		am, aok := plan.Move(kg)
+		bm, bok := bare.Move(kg)
+		if aok != bok || am != bm {
+			t.Fatalf("Move(%d): indexed %+v/%v, scan %+v/%v", kg, am, aok, bm, bok)
+		}
 	}
 }
 
@@ -152,6 +209,52 @@ func TestMigratorSequenceOrderAndCompletion(t *testing.T) {
 		if rt.Instance("agg", m.From).Store().HasGroup(m.KeyGroup) {
 			t.Fatalf("kg %d still at source %d", m.KeyGroup, m.From)
 		}
+	}
+}
+
+// recordingStarter is a minimal legacy mechanism: Start only captures the
+// done callback, so the test controls exactly when the operation "finishes"
+// and what the metrics collector has seen at each probe.
+type recordingStarter struct{ done func() }
+
+func (r *recordingStarter) Name() string { return "recording" }
+func (r *recordingStarter) Start(rt *engine.Runtime, plan Plan, done func()) {
+	r.done = done
+}
+
+// TestBeginLegacyPhases pins the adapter's phase inference: deploy while
+// nothing migrated, migrate while partial, drain when all units landed but
+// the mechanism has not reported done, done afterwards — and Cancel is
+// recorded but reported as not honored.
+func TestBeginLegacyPhases(t *testing.T) {
+	g, _ := workload.Build(workload.Config{AggParallelism: 4, MaxKeyGroups: 32, Duration: simtime.Sec(1)})
+	s := simtime.NewScheduler()
+	rt := engine.New(s, g, nil, engine.Config{Seed: 1, MarkerInterval: -1})
+	plan := UniformPlan(g, "agg", 6, 0)
+	st := &recordingStarter{}
+	op := BeginLegacy(st, rt, plan, nil)
+	if ph := op.Progress().Phase; ph != PhaseDeploy {
+		t.Fatalf("phase %v before any migration, want deploy", ph)
+	}
+	rt.Scale.UnitMigrated(plan.Moves[0].KeyGroup, s.Now())
+	if pr := op.Progress(); pr.Phase != PhaseMigrate || pr.Moved != 1 || pr.Total != len(plan.Moves) {
+		t.Fatalf("mid-migration progress %+v", pr)
+	}
+	if op.Cancel() {
+		t.Fatal("legacy adapter must report cancellation as not honored")
+	}
+	if pr := op.Progress(); !pr.Cancelled {
+		t.Fatal("cancellation not recorded")
+	}
+	for _, mv := range plan.Moves[1:] {
+		rt.Scale.UnitMigrated(mv.KeyGroup, s.Now())
+	}
+	if ph := op.Progress().Phase; ph != PhaseDrain {
+		t.Fatalf("phase %v with all units landed but no done, want drain", ph)
+	}
+	st.done()
+	if ph := op.Progress().Phase; ph != PhaseDone {
+		t.Fatalf("phase %v after done, want done", ph)
 	}
 }
 

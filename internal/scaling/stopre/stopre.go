@@ -23,7 +23,15 @@ type Mechanism struct {
 // Name implements scaling.Mechanism.
 func (m *Mechanism) Name() string { return "stop-restart" }
 
-// Start implements scaling.Mechanism.
+// Begin implements the lifecycle scaling.Mechanism interface through the
+// legacy-start adapter. Stop-Checkpoint-Restart cannot be cancelled once the
+// checkpoint fires: the job is halted and must restore before resuming, so
+// Cancel is recorded but the restart runs to completion.
+func (m *Mechanism) Begin(rt *engine.Runtime, plan scaling.Plan, done func()) scaling.Operation {
+	return scaling.BeginLegacy(m, rt, plan, done)
+}
+
+// Start implements scaling.Starter.
 func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
 	if m.RestoreBytesPerSec <= 0 {
 		m.RestoreBytesPerSec = 400 << 20

@@ -25,7 +25,14 @@ type Mechanism struct{}
 // Name implements scaling.Mechanism.
 func (m *Mechanism) Name() string { return "unbound" }
 
-// Start implements scaling.Mechanism.
+// Begin implements the lifecycle scaling.Mechanism interface through the
+// legacy-start adapter: phases are inferred from migration accounting, and
+// Cancel is recorded but not honored (Unbound has no protocol to stand down).
+func (m *Mechanism) Begin(rt *engine.Runtime, plan scaling.Plan, done func()) scaling.Operation {
+	return scaling.BeginLegacy(m, rt, plan, done)
+}
+
+// Start implements scaling.Starter.
 func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
 	const signal = "unbound"
 	for _, mv := range plan.Moves {
