@@ -26,7 +26,9 @@
 // every registered scenario. -topology/-placement force every run onto a
 // named cluster substrate / placement policy; -driver/-policy force how runs
 // are driven (scripted wave program vs closed-loop controller and which
-// control policy decides).
+// control policy decides); -faults forces every run's fault plan (a fault
+// spec like "crash@12s:node=r0n1,restart=6s;ckpt=2s", or "off" to disable
+// the chaos scenarios' own plans).
 //
 // -json writes every figure's structured rows (plus decision counts where
 // applicable) as a machine-readable record, so CI jobs consume figures
@@ -101,6 +103,7 @@ func main() {
 	placement := flag.String("placement", "", "override every run's placement policy: spread | pack | rack-local")
 	driver := flag.String("driver", "", "override every run's driving: script | controller")
 	policy := flag.String("policy", "", "control policy for controller driving: "+strings.Join(control.PolicyNames(), " | "))
+	faultsSpec := flag.String("faults", "", "override every run's fault plan: a fault spec (e.g. crash@12s:node=r0n1,restart=6s;ckpt=2s) or off")
 	perfOut := flag.String("perf", "", "write a JSON perf record (wall time, events/sec per figure) to this file")
 	jsonOut := flag.String("json", "", "write every figure's structured rows as machine-readable JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
@@ -117,6 +120,9 @@ func main() {
 				layout = "flat single node"
 			}
 			fmt.Printf("%-22s %-20s %-44s %s\n", def.Name, sc.ProgramString(), layout, def.Description)
+			if fs := sc.Faults.Summary(); fs != "" {
+				fmt.Printf("%-22s %-20s faults: %s\n", "", "", fs)
+			}
 		}
 		return
 	}
@@ -149,6 +155,7 @@ func main() {
 		}()
 		bench.SetClusterOverride(*topology, *placement)
 		bench.SetDriverOverride(*driver, *policy)
+		bench.SetFaultsOverride(*faultsSpec)
 	}()
 
 	bench.Workers = *parallel

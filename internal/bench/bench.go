@@ -17,6 +17,7 @@ import (
 	"drrs/internal/control"
 	"drrs/internal/dataflow"
 	"drrs/internal/engine"
+	"drrs/internal/faults"
 	"drrs/internal/metrics"
 	"drrs/internal/scaling"
 	"drrs/internal/simtime"
@@ -64,6 +65,10 @@ type Scenario struct {
 	// MigrationBandwidth applies when Cluster is nil (default 4 MB/s — the
 	// paper's 1 Gbps scaled down with the state sizes).
 	MigrationBandwidth float64
+	// Faults is the scenario's declarative fault plan (nil = healthy run —
+	// no injector, no checkpointer, byte-identical to pre-fault builds).
+	// SetFaultsOverride (drrs-bench -faults) replaces it for the run.
+	Faults *faults.Plan
 	// Seed drives the run.
 	Seed int64
 }
@@ -165,6 +170,11 @@ type Outcome struct {
 	TransferredBytes int64
 	CrossRackBytes   int64
 
+	// Faults summarizes the fault injection and recovery activity; nil on
+	// unfaulted runs, so every digest pinned before the fault layer existed
+	// stays valid.
+	Faults *FaultSummary
+
 	// PreAvgMs is the average latency over the warmup (pre-scaling level).
 	PreAvgMs float64
 	// StabilizedAt is the last wave's re-stabilization instant per the
@@ -217,6 +227,11 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 	rt := engine.New(s, g, cl, cfg)
 	rt.Start()
 
+	// The fault injector (and its checkpointer) exists only when a plan does,
+	// so healthy runs schedule no extra events and stay byte-identical.
+	inj := faults.NewInjector(rt, sc.faultPlan(), sc.Seed)
+	inj.Start()
+
 	first := newMech()
 	out := Outcome{Mechanism: "no-scale", MechRef: first, Seed: sc.Seed, Done: true}
 	horizon := simtime.Time(sc.Warmup + sc.Measure)
@@ -229,6 +244,7 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 		Horizon:  horizon,
 		newMech:  newMech,
 		first:    first,
+		Injector: inj,
 	}
 	if first != nil {
 		out.Mechanism = first.Name()
@@ -238,8 +254,10 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 	}
 	s.RunUntil(horizon)
 	rt.StopMarkers()
+	inj.Stop() // the checkpoint timer re-arms; stop it or the drain never empties
 	s.Run()
 	drv.Finish(run)
+	out.Faults = faultSummary(inj, rt, out.Decisions)
 
 	out.EndAt = s.Now()
 	out.Events = s.Processed()

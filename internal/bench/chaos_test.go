@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"drrs/internal/engine"
+	"drrs/internal/scaling"
+	"drrs/internal/simtime"
+	"drrs/internal/workload"
+)
+
+// requireSameFaults extends the bit-for-bit outcome guard to the fault block:
+// chaos runs must reproduce the identical disruption-and-recovery story, not
+// just the same traffic.
+func requireSameFaults(t *testing.T, label string, a, b Outcome) {
+	t.Helper()
+	requireSameOutcome(t, label, a, b)
+	if (a.Faults == nil) != (b.Faults == nil) {
+		t.Fatalf("%s: fault summary presence differs", label)
+	}
+	if a.Faults != nil && *a.Faults != *b.Faults {
+		t.Fatalf("%s: fault summary differs:\n  %s\n  %s", label, a.Faults, b.Faults)
+	}
+}
+
+// TestNodeLossRecoveryTentpole is the acceptance test for the chaos track's
+// headline behaviour: a reactive scale-out whose destination node crashes
+// mid-migration must complete anyway — in-flight chunks revert to their
+// sources, the controller's health feed supersedes the wounded operation with
+// a re-plan from the surviving placement, and the checkpoint layer restores
+// the crashed instances' groups — with ZERO key groups lost, at two seeds,
+// bit for bit deterministically.
+func TestNodeLossRecoveryTentpole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs simulate ~30 virtual seconds")
+	}
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runOnce := func() Outcome {
+				return ScenarioByName("node-loss-mid-migrate", seed).
+					RunWith(func() scaling.Mechanism { return Mechanisms("drrs") })
+			}
+			a := runOnce()
+			b := runOnce()
+			requireSameFaults(t, "node-loss/drrs", a, b)
+			f := a.Faults
+			if f == nil {
+				t.Fatal("faulted run produced no fault summary")
+			}
+			t.Logf("%s", f)
+			if f.Crashes < 1 {
+				t.Fatalf("planned crash never fired: %s", f)
+			}
+			if f.LostGroups != 0 {
+				t.Fatalf("recovery lost %d key groups, want 0: %s", f.LostGroups, f)
+			}
+			if f.RecoveredGroups == 0 {
+				t.Fatalf("checkpoint restore never ran: %s", f)
+			}
+			if f.FailedTransfers == 0 {
+				t.Fatalf("crash missed the in-flight migration (no failed transfers): %s", f)
+			}
+			if f.Replans == 0 {
+				t.Fatalf("controller never re-planned around the crash: %s", f)
+			}
+			var sawRecovery bool
+			for _, d := range a.Decisions {
+				if d.Recovery {
+					if !d.Superseded {
+						t.Fatalf("recovery decision %d did not supersede the in-flight op: %+v", d.Seq, d)
+					}
+					sawRecovery = true
+				}
+			}
+			if !sawRecovery {
+				t.Fatal("no recovery decision in the audit trail")
+			}
+			if !a.Done {
+				t.Fatal("run did not complete every launched operation")
+			}
+		})
+	}
+}
+
+// TestChaosScenariosDeterministic pins the other two chaos scenarios to the
+// same bit-for-bit bar at two seeds each (the golden digests guard one seed;
+// this guards the mechanism across seeds without pinning more constants).
+func TestChaosScenariosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs simulate ~30 virtual seconds each")
+	}
+	for _, name := range []string{"straggler-rack", "flaky-uplink"} {
+		for _, seed := range []int64{1, 2} {
+			name, seed := name, seed
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				runOnce := func() Outcome {
+					return ScenarioByName(name, seed).
+						RunWith(func() scaling.Mechanism { return Mechanisms("drrs") })
+				}
+				a := runOnce()
+				requireSameFaults(t, name, a, runOnce())
+				if a.Faults == nil || a.Faults.Events == 0 {
+					t.Fatalf("fault plan never fired: %+v", a.Faults)
+				}
+				if a.Faults.LostGroups != 0 {
+					t.Fatalf("lost %d key groups: %s", a.Faults.LostGroups, a.Faults)
+				}
+				t.Logf("%s", a.Faults)
+			})
+		}
+	}
+}
+
+// TestLegacyMechanismsSurviveNodeLoss runs the tentpole crash scenario under
+// every legacy (BeginLegacy-adapted) mechanism: the controller's health feed
+// fires an involuntary supersession whose Cancel the legacy adapter cannot
+// honor, so the wounded operation must still settle on its own — against a
+// dead destination — and release the pending recovery plan. No operation may
+// wedge: every launched decision except at most the horizon-cut last one
+// reports done, deterministically across two seeds.
+func TestLegacyMechanismsSurviveNodeLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs simulate ~30 virtual seconds per mechanism")
+	}
+	for _, mech := range []string{"meces", "megaphone", "otfs", "stop-restart", "unbound"} {
+		for _, seed := range []int64{1, 2} {
+			mech, seed := mech, seed
+			t.Run(fmt.Sprintf("%s/seed%d", mech, seed), func(t *testing.T) {
+				runOnce := func() Outcome {
+					return ScenarioByName("node-loss-mid-migrate", seed).
+						RunWith(func() scaling.Mechanism { return Mechanisms(mech) })
+				}
+				a := runOnce()
+				requireSameFaults(t, mech, a, runOnce())
+				if a.Faults == nil || a.Faults.Crashes == 0 {
+					t.Fatal("planned crash never fired")
+				}
+				t.Logf("%s", a.Faults)
+				launched := -1
+				for _, d := range a.Decisions {
+					if !d.Launched {
+						continue
+					}
+					if launched >= 0 && !a.Decisions[launched].Done {
+						t.Fatalf("operation %d wedged: a later decision launched while it never settled: %+v",
+							launched, a.Decisions[launched])
+					}
+					launched = d.Seq
+				}
+				if launched < 0 {
+					t.Fatal("controller never launched an operation")
+				}
+			})
+		}
+	}
+}
+
+// TestLegacyCancelDuringDeployAndMigrate targets the two remaining phases of
+// the supersession matrix directly: each legacy mechanism is cancelled once
+// during deploy (setup still pending) and once mid-migration. The adapter
+// reports the cancel as not honored, and the operation must still run to
+// completion with every planned group at its destination — a cancel must
+// never strand state or wedge the done callback.
+func TestLegacyCancelDuringDeployAndMigrate(t *testing.T) {
+	for _, mech := range []string{"meces", "megaphone", "otfs", "stop-restart", "unbound"} {
+		for _, phase := range []scaling.Phase{scaling.PhaseDeploy, scaling.PhaseMigrate} {
+			mech, phase := mech, phase
+			t.Run(fmt.Sprintf("%s/%s", mech, phase), func(t *testing.T) {
+				if mech == "stop-restart" && phase == scaling.PhaseMigrate {
+					t.Skip("stop&restart moves all state in one event — no observable migrate window to cancel in")
+				}
+				g, _ := workload.Build(workload.Config{
+					AggParallelism: 4, MaxKeyGroups: 32, Keys: 200,
+					RatePerSec: 200, StateBytesPerKey: 512,
+					Duration: simtime.Sec(2), Seed: 7,
+				})
+				s := simtime.NewScheduler()
+				rt := engine.New(s, g, nil, engine.Config{Seed: 7, MarkerInterval: -1})
+				rt.Start()
+				plan := scaling.UniformPlan(g, "agg", 6, simtime.Ms(20))
+				var done bool
+				op := Mechanisms(mech).Begin(rt, plan, func() { done = true })
+				var cancelled bool
+				var probe func()
+				probe = func() {
+					if cancelled || done {
+						return
+					}
+					if op.Progress().Phase >= phase {
+						if op.Cancel() {
+							t.Error("legacy adapter honored Cancel")
+						}
+						cancelled = true
+						return
+					}
+					s.After(simtime.Ms(1), probe)
+				}
+				probe()
+				s.Run()
+				if !cancelled {
+					t.Fatalf("operation finished before reaching phase %s", phase)
+				}
+				if !done {
+					t.Fatal("cancelled operation wedged: done never fired")
+				}
+				for _, m := range plan.Moves {
+					if !rt.Instance("agg", m.To).Store().HasGroup(m.KeyGroup) {
+						t.Fatalf("kg %d stranded away from destination %d after cancel", m.KeyGroup, m.To)
+					}
+				}
+			})
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"drrs/internal/control"
 	"drrs/internal/engine"
+	"drrs/internal/faults"
 	"drrs/internal/metrics"
 	"drrs/internal/scaling"
 	"drrs/internal/simtime"
@@ -39,6 +40,10 @@ type Run struct {
 	// Horizon is Warmup+Measure: control events past it would drive an
 	// idle, draining pipeline.
 	Horizon simtime.Time
+
+	// Injector is the run's fault injector (nil on healthy runs); the
+	// controller driver wires its Health feed into the control plane.
+	Injector *faults.Injector
 
 	newMech func() scaling.Mechanism
 	first   scaling.Mechanism
@@ -210,6 +215,11 @@ func (d *ControllerDriver) Drive(r *Run) {
 		Max:                max,
 		Setup:              sc.Setup,
 		InitialParallelism: initP,
+	}
+	if r.Injector != nil {
+		// Faulted runs close a second loop: the injector's disruption feed
+		// lets the controller supersede an operation whose destination died.
+		cfg.Health = r.Injector.Health
 	}
 	r.ctl = control.New(rt, cfg, r.NextMech, control.Hooks{
 		WillLaunch: func(dec control.Decision, plan scaling.Plan) func() {

@@ -72,6 +72,24 @@ func OutcomeDigest(o Outcome) uint64 {
 			h.i64(int64(d.DoneAt))
 		}
 	}
+	// The fault block folds only for faulted runs (healthy runs carry nil),
+	// so every digest pinned before the fault layer existed stays valid. The
+	// per-decision Recovery flags fold here rather than in the decisions loop
+	// above for the same reason.
+	if f := o.Faults; f != nil {
+		h.i64(int64(f.Events))
+		h.i64(int64(f.Crashes))
+		h.i64(int64(f.FailedTransfers))
+		h.i64(int64(f.RecoveredGroups))
+		h.i64(int64(f.LostGroups))
+		h.i64(int64(f.Replans))
+		h.u64(f.RecordsLost)
+		h.u64(f.ReplayedRecords)
+		h.f64(f.RecoveryMs)
+		for _, d := range o.Decisions {
+			h.b(d.Recovery)
+		}
+	}
 	return h.sum
 }
 

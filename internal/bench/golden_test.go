@@ -29,6 +29,17 @@ var goldenDigests = []struct {
 	// decision audit trail, so a policy or controller change that shifts any
 	// decision (time, target, supersession) fails here.
 	{"flash-crowd-reactive", "drrs", 5, 0x3d5a2fbe3a92a654},
+	// Chaos track: the digest additionally folds in the fault summary
+	// (crashes, failed transfers, recovered/lost groups, replay accounting)
+	// and each decision's Recovery flag. Faults fire at planned virtual-time
+	// offsets from a dedicated RNG stream, so a faulted run pins exactly like
+	// a healthy one — across two seeds each, per the chaos acceptance bar.
+	{"node-loss-mid-migrate", "drrs", 1, 0x6f6ae03c41252add},
+	{"node-loss-mid-migrate", "drrs", 2, 0x450e5f559fae31bf},
+	{"straggler-rack", "drrs", 1, 0xe4162c7acf3710f7},
+	{"straggler-rack", "drrs", 2, 0x850848da37ede3ff},
+	{"flaky-uplink", "drrs", 1, 0x3410233d624aaa9f},
+	{"flaky-uplink", "drrs", 2, 0xbcc727ef060cdda1},
 }
 
 // TestGoldenDigests replays each pinned scenario and compares the digest.

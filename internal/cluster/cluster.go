@@ -12,10 +12,22 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"drrs/internal/netsim"
 	"drrs/internal/simtime"
+)
+
+// Transfer failure causes, wrapped into the error a failed transfer reports.
+var (
+	// ErrNodeDead means an endpoint's node is marked dead.
+	ErrNodeDead = errors.New("node dead")
+	// ErrNodeMissing means an endpoint's node has been removed from the
+	// cluster (its placement dangles).
+	ErrNodeMissing = errors.New("node missing")
+	// ErrRackDown means the transfer path crosses a partitioned rack uplink.
+	ErrRackDown = errors.New("rack uplink down")
 )
 
 // Node is one simulated worker machine.
@@ -36,6 +48,10 @@ type Node struct {
 	// Place still works) — e.g. the default "local" node on rack topologies,
 	// which would otherwise soak up instances on its infinite NIC.
 	Unschedulable bool
+	// Dead marks a crashed node: placement policies avoid it and transfers
+	// touching it fail through their error callback. Use MarkDead/MarkAlive
+	// rather than flipping the field so accounting stays in one place.
+	Dead bool
 
 	busyUntil simtime.Time
 	// TransferredBytes counts outgoing migration traffic.
@@ -84,6 +100,9 @@ type Cluster struct {
 	// TransferLatency is the per-transfer network latency between distinct
 	// nodes; transfers within one node skip it.
 	TransferLatency simtime.Duration
+	// OnTransferFail, when set, observes every failed transfer (fault
+	// accounting). It runs before the transfer's own fail callback.
+	OnTransferFail func(from, to netsim.Endpoint, bytes int, err error)
 }
 
 // New returns a cluster with a single infinite-bandwidth node "local", which
@@ -119,6 +138,44 @@ func (c *Cluster) AddNode(name string, speed, migBandwidth float64) *Node {
 // Node returns a registered node by name.
 func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
 
+// MarkDead marks a node as crashed: placement policies skip it and transfers
+// touching it fail. Placements on the node are kept — instances stay pinned to
+// the corpse until something re-places them — so recovery can see where state
+// used to live. Unknown names are ignored (the fault plan may name nodes a
+// topology override removed).
+func (c *Cluster) MarkDead(name string) {
+	if n := c.nodes[name]; n != nil {
+		n.Dead = true
+	}
+}
+
+// MarkAlive returns a dead node to service (crash-with-restart).
+func (c *Cluster) MarkAlive(name string) {
+	if n := c.nodes[name]; n != nil {
+		n.Dead = false
+	}
+}
+
+// RemoveNode deletes a node from the cluster entirely. Placements pointing at
+// it are left dangling: NodeOf resolves them to nil-backed defaults and
+// transfers touching them fail with ErrNodeMissing. The first registered node
+// cannot be removed (it is the NodeOf fallback).
+func (c *Cluster) RemoveNode(name string) {
+	if name == c.order[0] {
+		panic(fmt.Sprintf("cluster: cannot remove fallback node %s", name))
+	}
+	if _, ok := c.nodes[name]; !ok {
+		return
+	}
+	delete(c.nodes, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // Nodes returns node names in registration order.
 func (c *Cluster) Nodes() []string { return append([]string(nil), c.order...) }
 
@@ -150,7 +207,9 @@ func (c *Cluster) PlaceRoundRobin(op string, parallelism int) {
 	}
 }
 
-// NodeOf resolves an instance's node, defaulting to the first node.
+// NodeOf resolves an instance's node, defaulting to the first node. It
+// returns nil when the instance's placed node has been removed from the
+// cluster — callers that can run against a faulted cluster must tolerate nil.
 func (c *Cluster) NodeOf(ep netsim.Endpoint) *Node {
 	if name, ok := c.placement[ep]; ok {
 		return c.nodes[name]
@@ -158,29 +217,110 @@ func (c *Cluster) NodeOf(ep netsim.Endpoint) *Node {
 	return c.nodes[c.order[0]]
 }
 
-// SpeedOf returns the processing-speed factor for an instance.
-func (c *Cluster) SpeedOf(ep netsim.Endpoint) float64 { return c.NodeOf(ep).Speed }
+// SpeedOf returns the processing-speed factor for an instance. An instance
+// whose node was removed keeps speed 1 so a draining pipeline can still make
+// progress until recovery re-places it.
+func (c *Cluster) SpeedOf(ep netsim.Endpoint) float64 {
+	n := c.NodeOf(ep)
+	if n == nil {
+		return 1
+	}
+	return n.Speed
+}
 
 // Transfer schedules a state transfer of the given size from one instance to
 // another and invokes done on completion. Transfers leaving the same node
 // serialize on its migration bandwidth; transfers crossing a rack boundary
 // additionally serialize (store-and-forward) on the source rack's shared
 // uplink and pay both racks' uplink latencies on top of the base latency.
+//
+// On an unhealthy cluster (dead/removed endpoint node, partitioned rack) the
+// transfer fails instead of completing: Transfer drops it silently after
+// notifying OnTransferFail; use TransferChecked to observe the failure.
 func (c *Cluster) Transfer(from, to netsim.Endpoint, bytes int, done func()) {
+	c.TransferChecked(from, to, bytes, done, nil)
+}
+
+// TransferChecked is Transfer with an explicit failure callback. The source
+// node and the rack path are checked at launch; the destination is checked at
+// delivery time, so a transfer whose destination instance is re-placed onto a
+// healthy node while the bytes are in flight still succeeds. Exactly one of
+// done/fail fires, at the instant the transfer would have completed (failures
+// are detected when the bytes arrive, not for free at launch — except a dead
+// source, which cannot even start and fails immediately).
+func (c *Cluster) TransferChecked(from, to netsim.Endpoint, bytes int, done func(), fail func(error)) {
 	src := c.NodeOf(from)
+	if src == nil {
+		c.failTransfer(c.sched.Now(), from, to, bytes, ErrNodeMissing, fail)
+		return
+	}
+	if src.Dead {
+		c.failTransfer(c.sched.Now(), from, to, bytes, ErrNodeDead, fail)
+		return
+	}
 	dst := c.NodeOf(to)
 	src.TransferredBytes += int64(bytes)
 	ready := src.reserve(c.sched.Now(), bytes)
 	if src == dst {
-		c.sched.At(ready, done)
+		c.sched.At(ready, func() { c.deliver(from, to, bytes, done, fail) })
 		return
 	}
 	lat := c.TransferLatency
-	if sr, dr := c.racks[src.Rack], c.racks[dst.Rack]; sr != nil && dr != nil && sr != dr {
+	if sr, dr := c.rackPath(src, dst); sr != nil {
+		if sr.Down || dr.Down {
+			// The path is partitioned: the transfer times out after the base
+			// hop latency without ever occupying the uplink.
+			c.failTransfer(ready.Add(lat), from, to, bytes, ErrRackDown, fail)
+			return
+		}
 		ready = sr.reserveUplink(ready, bytes)
 		sr.OutBytes += int64(bytes)
 		dr.InBytes += int64(bytes)
 		lat += sr.UplinkLatency + dr.UplinkLatency
 	}
-	c.sched.At(ready.Add(lat), done)
+	c.sched.At(ready.Add(lat), func() { c.deliver(from, to, bytes, done, fail) })
+}
+
+// rackPath returns the source and destination racks when the transfer crosses
+// a rack boundary, (nil, nil) otherwise.
+func (c *Cluster) rackPath(src, dst *Node) (*Rack, *Rack) {
+	if dst == nil {
+		// Destination node removed: no rack path — the delivery check fails
+		// the transfer regardless.
+		return nil, nil
+	}
+	if sr, dr := c.racks[src.Rack], c.racks[dst.Rack]; sr != nil && dr != nil && sr != dr {
+		return sr, dr
+	}
+	return nil, nil
+}
+
+// deliver lands the bytes at the destination, re-resolving its node at
+// delivery time.
+func (c *Cluster) deliver(from, to netsim.Endpoint, bytes int, done func(), fail func(error)) {
+	dst := c.NodeOf(to)
+	switch {
+	case dst == nil:
+		c.noteFail(from, to, bytes, ErrNodeMissing, fail)
+	case dst.Dead:
+		c.noteFail(from, to, bytes, ErrNodeDead, fail)
+	case done != nil:
+		done()
+	}
+}
+
+// failTransfer schedules the failure notification for at.
+func (c *Cluster) failTransfer(at simtime.Time, from, to netsim.Endpoint, bytes int, cause error, fail func(error)) {
+	c.sched.At(at, func() { c.noteFail(from, to, bytes, cause, fail) })
+}
+
+func (c *Cluster) noteFail(from, to netsim.Endpoint, bytes int, cause error, fail func(error)) {
+	err := fmt.Errorf("cluster: transfer %s/%d→%s/%d (%d B): %w",
+		from.Op, from.Index, to.Op, to.Index, bytes, cause)
+	if c.OnTransferFail != nil {
+		c.OnTransferFail(from, to, bytes, err)
+	}
+	if fail != nil {
+		fail(err)
+	}
 }

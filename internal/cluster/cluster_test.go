@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"testing"
 
 	"drrs/internal/netsim"
@@ -218,6 +219,189 @@ func TestTransferredBytesAccountsPerSourceNode(t *testing.T) {
 	if n2.TransferredBytes != 700 {
 		t.Fatalf("n2 transferred %d, want 700", n2.TransferredBytes)
 	}
+}
+
+// TestTransferToDeadNodeFails pins the unhealthy-cluster semantics: a
+// transfer whose destination node is dead must fail through the error
+// callback at the instant the bytes arrive (bandwidth and latency are still
+// paid — the failure is detected at delivery, not for free at launch).
+func TestTransferToDeadNodeFails(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("src", 1, 1000)
+	c.AddNode("dst", 1, 1000)
+	c.Place(ep("a", 0), "src")
+	c.Place(ep("b", 0), "dst")
+	c.MarkDead("dst")
+	var failedAt simtime.Time
+	var failErr error
+	done := false
+	c.TransferChecked(ep("a", 0), ep("b", 0), 500, func() { done = true }, func(err error) {
+		failedAt = s.Now()
+		failErr = err
+	})
+	s.Run()
+	if done {
+		t.Fatal("transfer to a dead node must not complete")
+	}
+	if failErr == nil || !errors.Is(failErr, ErrNodeDead) {
+		t.Fatalf("want ErrNodeDead, got %v", failErr)
+	}
+	want := simtime.Time(simtime.Ms(500)).Add(c.TransferLatency)
+	if failedAt != want {
+		t.Fatalf("failure detected at %v, want delivery time %v", failedAt, want)
+	}
+}
+
+// TestTransferFromDeadNodeFailsImmediately: a dead source cannot even start
+// sending, so the failure fires at launch time without consuming bandwidth.
+func TestTransferFromDeadNodeFailsImmediately(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	n := c.AddNode("src", 1, 1000)
+	c.AddNode("dst", 1, 1000)
+	c.Place(ep("a", 0), "src")
+	c.Place(ep("b", 0), "dst")
+	c.MarkDead("src")
+	var failErr error
+	c.TransferChecked(ep("a", 0), ep("b", 0), 500, func() { t.Fatal("completed") }, func(err error) {
+		failErr = err
+		if s.Now() != 0 {
+			t.Fatalf("dead-source failure at %v, want launch time", s.Now())
+		}
+	})
+	s.Run()
+	if failErr == nil || !errors.Is(failErr, ErrNodeDead) {
+		t.Fatalf("want ErrNodeDead, got %v", failErr)
+	}
+	if n.TransferredBytes != 0 {
+		t.Fatalf("dead source accounted %d transferred bytes", n.TransferredBytes)
+	}
+}
+
+// TestTransferToRemovedNodeFails covers the satellite bugfix: NodeOf on a
+// removed node used to nil-deref inside Transfer; now the transfer fails with
+// ErrNodeMissing and plain Transfer (no fail callback) drops it silently.
+func TestTransferToRemovedNodeFails(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("src", 1, 1000)
+	c.AddNode("gone", 1, 1000)
+	c.Place(ep("a", 0), "src")
+	c.Place(ep("b", 0), "gone")
+	c.RemoveNode("gone")
+	var observed error
+	c.OnTransferFail = func(_, _ netsim.Endpoint, _ int, err error) { observed = err }
+	// Plain Transfer must not panic and must not complete.
+	c.Transfer(ep("a", 0), ep("b", 0), 500, func() { t.Fatal("completed") })
+	s.Run()
+	if observed == nil || !errors.Is(observed, ErrNodeMissing) {
+		t.Fatalf("want ErrNodeMissing via OnTransferFail, got %v", observed)
+	}
+	// Source side removed: same story, synchronous failure path.
+	c.AddNode("gone2", 1, 1000)
+	c.Place(ep("x", 0), "gone2")
+	c.RemoveNode("gone2")
+	observed = nil
+	c.Transfer(ep("x", 0), ep("a", 0), 100, func() { t.Fatal("completed") })
+	s.Run()
+	if observed == nil || !errors.Is(observed, ErrNodeMissing) {
+		t.Fatalf("removed-source transfer: want ErrNodeMissing, got %v", observed)
+	}
+}
+
+// TestTransferSurvivesReplacementInFlight: the destination is checked when
+// the bytes arrive, so re-placing the destination instance onto a healthy
+// node while the transfer is in flight lets it complete.
+func TestTransferSurvivesReplacementInFlight(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("src", 1, 1000)
+	c.AddNode("doomed", 1, 1000)
+	c.AddNode("safe", 1, 1000)
+	c.Place(ep("a", 0), "src")
+	c.Place(ep("b", 0), "doomed")
+	done := false
+	c.TransferChecked(ep("a", 0), ep("b", 0), 500, func() { done = true }, func(err error) {
+		t.Fatalf("transfer failed despite re-placement: %v", err)
+	})
+	// Mid-flight: the destination node dies, but the instance is re-placed
+	// before the bytes arrive.
+	s.At(simtime.Time(simtime.Ms(100)), func() {
+		c.MarkDead("doomed")
+		c.Place(ep("b", 0), "safe")
+	})
+	s.Run()
+	if !done {
+		t.Fatal("transfer should complete at the re-placed destination")
+	}
+}
+
+// TestTransferAcrossDownRackFails: partitioned uplinks fail cross-rack
+// transfers without occupying the uplink pool.
+func TestTransferAcrossDownRackFails(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	for _, r := range []string{"r0", "r1"} {
+		c.AddRack(r, 1000, simtime.Ms(1))
+		c.AddNodeOnRack(r, r+"n", 1, 1000)
+	}
+	c.Place(ep("a", 0), "r0n")
+	c.Place(ep("b", 0), "r1n")
+	c.Rack("r0").Down = true
+	var failErr error
+	c.TransferChecked(ep("a", 0), ep("b", 0), 500, func() { t.Fatal("completed") }, func(err error) {
+		failErr = err
+	})
+	s.Run()
+	if failErr == nil || !errors.Is(failErr, ErrRackDown) {
+		t.Fatalf("want ErrRackDown, got %v", failErr)
+	}
+	if c.Rack("r0").OutBytes != 0 {
+		t.Fatalf("partitioned transfer accounted %d uplink bytes", c.Rack("r0").OutBytes)
+	}
+	// Healed: the same transfer goes through.
+	c.Rack("r0").Down = false
+	done := false
+	c.TransferChecked(ep("a", 0), ep("b", 0), 500, func() { done = true }, nil)
+	s.Run()
+	if !done {
+		t.Fatal("healed uplink should carry the transfer")
+	}
+}
+
+// TestLinkLatencyRemovedNode: LinkLatency used to nil-deref for endpoints on
+// removed nodes; it must fall back to the base latency.
+func TestLinkLatencyRemovedNode(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("gone", 1, 0)
+	c.Place(ep("a", 0), "gone")
+	c.RemoveNode("gone")
+	base := simtime.Ms(1)
+	if got := c.LinkLatency(ep("a", 0), ep("b", 0), base); got != base {
+		t.Fatalf("LinkLatency with removed src = %v, want base %v", got, base)
+	}
+	if got := c.LinkLatency(ep("b", 0), ep("a", 0), base); got != base {
+		t.Fatalf("LinkLatency with removed dst = %v, want base %v", got, base)
+	}
+	if c.RackOf(ep("a", 0)) != nil {
+		t.Fatal("RackOf for a removed node should be nil")
+	}
+	if c.SpeedOf(ep("a", 0)) != 1 {
+		t.Fatal("SpeedOf for a removed node should default to 1")
+	}
+}
+
+func TestRemoveFallbackNodePanics(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.RemoveNode("local")
 }
 
 func TestTransfersFromDifferentNodesDontContend(t *testing.T) {

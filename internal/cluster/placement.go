@@ -66,21 +66,48 @@ func (c *Cluster) PlaceInstances(op string, from, to int) {
 	}
 }
 
+// PlaceInstance re-places a single existing instance through the cluster's
+// placement policy — the fault-recovery path, where a crashed node's
+// instances need a new live home. Without a policy the placement stays where
+// it is (the node may come back). Returns the node the instance ends on.
+func (c *Cluster) PlaceInstance(ep netsim.Endpoint) string {
+	if c.policy != nil {
+		c.Place(ep, c.policy.Pick(c, ep.Op, ep.Index))
+	}
+	return c.placement[ep]
+}
+
 // hasRoom reports whether a policy may place another instance on the node.
+// Placement consults live `used` accounting, so slot counts and the
+// Unschedulable/Dead flags can change mid-run (cordoning, crashes) and the
+// next Pick respects them — recovery placement never oversubscribes a node
+// that shrank underneath it.
 func (c *Cluster) hasRoom(node string) bool {
 	n := c.nodes[node]
-	return !n.Unschedulable && (n.Slots <= 0 || c.used[node] < n.Slots)
+	return !n.Unschedulable && !n.Dead && (n.Slots <= 0 || c.used[node] < n.Slots)
 }
 
 // leastUsed returns the schedulable node with the fewest placed instances
 // among the given candidates (registration-order tiebreak); used when every
 // candidate is full, so placement degrades gracefully instead of failing.
-// When every candidate is unschedulable it falls back to the absolute
-// least-used one — placement must always produce a node.
+// When every candidate is unschedulable or dead it falls back to the absolute
+// least-used live one — placement must always produce a node, but never a
+// dead one while any candidate survives.
 func (c *Cluster) leastUsed(candidates []string) string {
 	best, found := "", false
 	for _, name := range candidates {
-		if c.nodes[name].Unschedulable {
+		if c.nodes[name].Unschedulable || c.nodes[name].Dead {
+			continue
+		}
+		if !found || c.used[name] < c.used[best] {
+			best, found = name, true
+		}
+	}
+	if found {
+		return best
+	}
+	for _, name := range candidates {
+		if c.nodes[name].Dead {
 			continue
 		}
 		if !found || c.used[name] < c.used[best] {

@@ -166,6 +166,93 @@ func TestReplaceKeepsSlotAccounting(t *testing.T) {
 	}
 }
 
+// TestDeadNodeIsSkipped: every policy, including the degraded least-used
+// fallback, must route around dead nodes while any live node remains.
+func TestDeadNodeIsSkipped(t *testing.T) {
+	for _, policy := range PolicyNames() {
+		c := policyCluster(simtime.NewScheduler())
+		c.Node("local").Unschedulable = true
+		c.MarkDead("r0a")
+		c.SetPolicy(PolicyByName(policy))
+		// 8 instances overflow the 6 surviving slots: even overflow must avoid
+		// the corpse.
+		c.PlaceInstances("op", 0, 8)
+		for i := 0; i < 8; i++ {
+			if got := c.NodeOf(ep("op", i)).Name; got == "r0a" {
+				t.Fatalf("%s placed op[%d] on the dead node", policy, i)
+			}
+		}
+	}
+}
+
+// TestMidRunCapacityChangesRespected is the satellite regression test:
+// `used` accounting and the schedulability flags are consulted live, so a
+// node cordoned, killed, or shrunk *after* initial placement is respected by
+// the next placement wave — recovery placement never oversubscribes.
+func TestMidRunCapacityChangesRespected(t *testing.T) {
+	c := policyCluster(simtime.NewScheduler())
+	c.Node("local").Unschedulable = true
+	c.SetPolicy(PolicyByName("spread"))
+	c.PlaceInstances("op", 0, 4) // one instance per rack node
+	// Mid-run: r0a dies, r0b is cordoned, r1a shrinks to its current load.
+	c.MarkDead("r0a")
+	c.Node("r0b").Unschedulable = true
+	c.Node("r1a").Slots = c.Used("r1a")
+	// One recovery instance fits in the single surviving free slot (r1b):
+	// while capacity remains, the full node must not be oversubscribed.
+	c.PlaceInstances("op", 4, 5)
+	if got := c.NodeOf(ep("op", 4)).Name; got != "r1b" {
+		t.Fatalf("recovery instance placed on %s, want the only free slot r1b", got)
+	}
+	if used, slots := c.Used("r1a"), c.Node("r1a").Slots; used > slots {
+		t.Fatalf("r1a oversubscribed while capacity remained: used=%d slots=%d", used, slots)
+	}
+	// Overflow past total capacity degrades gracefully but still avoids the
+	// dead and cordoned nodes.
+	c.PlaceInstances("op", 5, 7)
+	for i := 5; i < 7; i++ {
+		got := c.NodeOf(ep("op", i)).Name
+		if got == "r0a" || got == "r0b" {
+			t.Fatalf("overflow placed op[%d] on unavailable node %s", i, got)
+		}
+	}
+	// Un-cordon and revive: capacity is visible again on the next wave.
+	c.MarkAlive("r0a")
+	c.Node("r0b").Unschedulable = false
+	c.PlaceInstances("op", 7, 9)
+	onRevived := 0
+	for i := 7; i < 9; i++ {
+		if n := c.NodeOf(ep("op", i)).Name; n == "r0a" || n == "r0b" {
+			onRevived++
+		}
+	}
+	if onRevived == 0 {
+		t.Fatal("revived capacity never used by later placement")
+	}
+}
+
+// TestDeadReplacementFollowsInstance: re-placing an instance off a dead node
+// moves its slot accounting so the corpse's slots don't stay booked.
+func TestDeadReplacementFollowsInstance(t *testing.T) {
+	c := policyCluster(simtime.NewScheduler())
+	c.Place(ep("op", 0), "r0a")
+	c.Place(ep("op", 1), "r0a")
+	c.MarkDead("r0a")
+	c.SetPolicy(PolicyByName("spread"))
+	// Recovery: explicitly re-place the dead node's instances via the policy.
+	for i := 0; i < 2; i++ {
+		c.Place(ep("op", i), c.policy.Pick(c, "op", i))
+	}
+	if c.Used("r0a") != 0 {
+		t.Fatalf("dead node still accounts %d instances", c.Used("r0a"))
+	}
+	for i := 0; i < 2; i++ {
+		if n := c.NodeOf(ep("op", i)); n.Dead {
+			t.Fatalf("op[%d] still on a dead node", i)
+		}
+	}
+}
+
 func TestPolicyByNameUnknownPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -18,6 +18,10 @@ type Rack struct {
 	UplinkBandwidth float64
 	// UplinkLatency is the extra one-way latency of the rack's uplink hop.
 	UplinkLatency simtime.Duration
+	// Down partitions the rack: cross-rack transfers into or out of it fail
+	// with ErrRackDown until it is cleared. A zeroed UplinkBandwidth cannot
+	// model this — the bandwidth pools treat <= 0 as infinite.
+	Down bool
 
 	busyUntil simtime.Time
 	// OutBytes / InBytes count migration traffic leaving / entering the rack
@@ -74,8 +78,15 @@ func (c *Cluster) RackNodes(rack string) []string {
 	return out
 }
 
-// RackOf resolves an instance's rack (nil on flat clusters).
-func (c *Cluster) RackOf(ep netsim.Endpoint) *Rack { return c.racks[c.NodeOf(ep).Rack] }
+// RackOf resolves an instance's rack (nil on flat clusters and for instances
+// whose node has been removed).
+func (c *Cluster) RackOf(ep netsim.Endpoint) *Rack {
+	n := c.NodeOf(ep)
+	if n == nil {
+		return nil
+	}
+	return c.racks[n.Rack]
+}
 
 // LinkLatency derives the data-plane latency of a channel between two
 // instances from the topology path: the base latency within a node, a rack,
@@ -86,7 +97,9 @@ func (c *Cluster) RackOf(ep netsim.Endpoint) *Rack { return c.racks[c.NodeOf(ep)
 func (c *Cluster) LinkLatency(from, to netsim.Endpoint, base simtime.Duration) simtime.Duration {
 	src := c.NodeOf(from)
 	dst := c.NodeOf(to)
-	if src == dst {
+	if src == dst || src == nil || dst == nil {
+		// Same node, or an endpoint whose node was removed: charge only the
+		// base latency (a removed node has no topology position to price).
 		return base
 	}
 	if sr, dr := c.racks[src.Rack], c.racks[dst.Rack]; sr != nil && dr != nil && sr != dr {

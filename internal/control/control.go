@@ -47,6 +47,12 @@ type Config struct {
 	// InitialParallelism seeds the logical parallelism before the first
 	// operation.
 	InitialParallelism int
+	// Health, when set, reports a monotonic cluster-disruption count plus a
+	// note describing the latest disruption (the fault injector's view). The
+	// controller polls it every tick; a count increase while an operation is
+	// in flight triggers an involuntary recovery supersession — cancel,
+	// re-plan from surviving placement — bypassing the debounce guard.
+	Health func() (int, string)
 }
 
 func (c *Config) fillDefaults() {
@@ -82,6 +88,10 @@ type Decision struct {
 	// Superseded reports the decision preempted an in-flight operation: the
 	// old operation was cancelled and this launch waited for it to settle.
 	Superseded bool
+	// Recovery reports the decision was involuntary: a cluster disruption
+	// (from Config.Health) invalidated the in-flight operation, and this
+	// decision re-plans the same target from the surviving placement.
+	Recovery bool
 	// Launched/LaunchedAt report the resulting operation's start. A decision
 	// that was itself replaced while waiting never launches.
 	Launched   bool
@@ -106,13 +116,14 @@ type Controller struct {
 	newMech func() scaling.Mechanism
 	hooks   Hooks
 
-	decisions []Decision
-	cur       scaling.Operation
-	curIdx    int // decision index of the in-flight operation
-	pending   int // decision index waiting on supersession, -1 when none
-	curP      int // logical parallelism (target of the last completed op)
-	lastAct   simtime.Time
-	acted     bool
+	decisions  []Decision
+	cur        scaling.Operation
+	curIdx     int // decision index of the in-flight operation
+	pending    int // decision index waiting on supersession, -1 when none
+	curP       int // logical parallelism (target of the last completed op)
+	lastAct    simtime.Time
+	acted      bool
+	lastHealth int // last disruption count seen from cfg.Health
 }
 
 // New builds a controller. Call Start before running the scheduler.
@@ -165,12 +176,48 @@ func (c *Controller) tick() {
 	if now > c.cfg.Stop {
 		return
 	}
+	c.checkHealth(now)
 	s := c.Sample()
 	acts := c.cfg.Policy.Observe(s)
 	if now >= c.cfg.HoldOff {
 		c.consider(now, acts)
 	}
 	c.schedule()
+}
+
+// checkHealth turns cluster disruptions into involuntary recovery
+// supersessions. Unlike policy decisions, recovery ignores HoldOff and
+// Debounce — a migration heading for a dead destination must not wait out an
+// oscillation guard — and re-plans the *same* target: the point is to route
+// the remaining moves around the disruption, not to change where the system
+// is going.
+func (c *Controller) checkHealth(now simtime.Time) {
+	if c.cfg.Health == nil {
+		return
+	}
+	h, note := c.cfg.Health()
+	if h <= c.lastHealth {
+		return
+	}
+	c.lastHealth = h
+	if c.cur == nil || c.pending >= 0 {
+		// Nothing in flight to rescue, or a replacement is already queued —
+		// its launch re-plans from the actual placement anyway.
+		return
+	}
+	d := Decision{
+		Seq:        len(c.decisions),
+		At:         now,
+		Policy:     c.cfg.Policy.Name(),
+		Reason:     "recovery: " + note,
+		From:       c.target(),
+		To:         c.target(),
+		Superseded: true,
+		Recovery:   true,
+	}
+	c.decisions = append(c.decisions, d)
+	c.pending = d.Seq
+	c.cur.Cancel()
 }
 
 // Sample assembles the policy's snapshot from the runtime's trackers.
@@ -251,6 +298,12 @@ func (c *Controller) launch(di int) {
 		return
 	}
 	d := &c.decisions[di]
+	// Routing left pointing at an instance that never received its state (a
+	// transfer failed mid-supersession) would make the new plan skip the
+	// repair: PlanFromPlacement only moves groups whose holder and owner
+	// disagree. Reconciling routing to actual holders first is a no-op on
+	// healthy runs.
+	scaling.ReconcileRouting(c.rt, c.cfg.Operator)
 	plan := scaling.PlanFromPlacement(c.rt, c.cfg.Operator, d.To, c.cfg.Setup)
 	var onDone func()
 	if c.hooks.WillLaunch != nil {

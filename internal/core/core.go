@@ -166,6 +166,10 @@ type Mechanism struct {
 	// them re-route); chunkAt marks key groups installed at their target.
 	migratedOut map[int]bool
 	chunkAt     map[int]bool
+	// reverted marks key groups whose chunk transfer failed (destination died
+	// mid-flight): state re-installed at the source, routing reverted, and the
+	// group left for a superseding recovery plan to move.
+	reverted map[int]bool
 
 	rerouteEdges  map[[2]int]*netsim.Edge
 	edgeIsReroute map[*netsim.Edge]bool
@@ -259,6 +263,7 @@ func (m *Mechanism) Start(rt *engine.Runtime, plan scaling.Plan, done func()) {
 	m.moveOf = make(map[int]dataflow.Move)
 	m.migratedOut = make(map[int]bool)
 	m.chunkAt = make(map[int]bool)
+	m.reverted = make(map[int]bool)
 	m.rerouteEdges = make(map[[2]int]*netsim.Edge)
 	m.edgeIsReroute = make(map[*netsim.Edge]bool)
 	m.reroutesInto = make(map[int][]*netsim.Edge)
@@ -435,7 +440,10 @@ func (m *Mechanism) subscaleNodes(s *subscale) []string {
 	seen := map[string]bool{}
 	var out []string
 	for _, idx := range append(append([]int(nil), s.srcs...), s.dsts...) {
-		n := m.rt.Cluster.NodeOf(netsim.Endpoint{Op: m.op, Index: idx}).Name
+		n := ""
+		if nd := m.rt.Cluster.NodeOf(netsim.Endpoint{Op: m.op, Index: idx}); nd != nil {
+			n = nd.Name
+		}
 		if !seen[n] {
 			seen[n] = true
 			out = append(out, n)
@@ -542,7 +550,7 @@ func (m *Mechanism) startMigration(s *subscale, src int) {
 		if g != nil {
 			bytes = g.Bytes
 		}
-		m.rt.Cluster.Transfer(from.Endpoint(), to.Endpoint(), bytes, func() {
+		m.rt.Cluster.TransferChecked(from.Endpoint(), to.Endpoint(), bytes, func() {
 			m.rt.Sched.After(m.Opt.InstallCost, func() {
 				to.Store().InstallGroup(kg, g)
 				m.chunkAt[kg] = true
@@ -552,6 +560,23 @@ func (m *Mechanism) startMigration(s *subscale, src int) {
 				m.checkSubscale(s)
 				step(i + 1)
 			})
+		}, func(error) {
+			// Destination unreachable: the chunk returns to its source, the
+			// predecessors' routing reverts, and the group is surrendered to a
+			// superseding recovery plan (PlanFromPlacement sees it where it
+			// actually is). Records already routed toward the dead destination
+			// are dropped by the keyed-state backstop and counted lost.
+			from.Store().OwnGroup(kg)
+			from.Store().InstallGroup(kg, g)
+			delete(m.migratedOut, kg)
+			m.reverted[kg] = true
+			for _, p := range m.preds {
+				p.Routing(m.op).SetOwner(kg, src)
+			}
+			s.chunksLeft--
+			from.Wake()
+			m.checkSubscale(s)
+			step(i + 1)
 		})
 	}
 	step(0)

@@ -32,6 +32,14 @@ func (h *opHook) Processable(in *engine.Instance, r *netsim.Record, e *netsim.Ed
 	if s == nil {
 		return true
 	}
+	if m.reverted[r.KeyGroup] {
+		// The chunk transfer failed and the group lives back at its source.
+		// Let records through everywhere: the source processes them normally;
+		// stragglers already routed at the dead destination fall to the
+		// keyed-state backstop (dropped and counted lost) instead of wedging
+		// the channel.
+		return true
+	}
 	// Ep records arriving on a re-route path only need their state chunk:
 	// their order against the confirm barrier is preserved by the channel.
 	if m.edgeIsReroute[e] {
@@ -107,7 +115,14 @@ func (h *opHook) OnScaleMessage(in *engine.Instance, msg netsim.Message, e *nets
 	case *netsim.Rerouted:
 		switch inner := b.Inner.(type) {
 		case *netsim.ConfirmBarrier:
+			// A superseding operation's hook can drain confirms the previous
+			// operation re-routed before it was cancelled; matching on the
+			// inner barrier's ScaleID keeps them from corrupting this one's
+			// alignment state.
 			s := m.subByID[b.Subscale]
+			if inner.ScaleID != m.scaleID || s == nil {
+				return true
+			}
 			key := confirmKey(in.Index, e.Src.Index, inner.FromOp, inner.FromIdx)
 			if !s.confirmSeen[key] {
 				s.confirmSeen[key] = true

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"testing"
+
+	"drrs/internal/dataflow"
+	"drrs/internal/simtime"
+)
+
+// BenchmarkStateCheckpoint measures one out-of-band snapshot sweep plus the
+// recovery-path lookups over populated keyed stores — the recurring cost the
+// fault layer adds to a run at every checkpoint cadence. The sweep deep-copies
+// every live keyed group, so this is the number to watch when changing the
+// slab store's Snapshot path.
+func BenchmarkStateCheckpoint(b *testing.B) {
+	sink := NewCollectSink()
+	g := dataflow.NewGraph()
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "src", Parallelism: 2,
+		Source: fixedRateSource(2000, simtime.Ms(1), 512),
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "agg", Parallelism: 4, KeyedInput: true, MaxKeyGroups: 32,
+		CostPerRecord: simtime.Ms(0.1),
+		NewLogic:      func() dataflow.Logic { return &KeyedReduceLogic{EmitUpdates: true} },
+	})
+	g.AddOperator(&dataflow.OperatorSpec{
+		Name: "sink", Parallelism: 1,
+		NewLogic: func() dataflow.Logic { return sink },
+	})
+	g.Connect("src", "agg", dataflow.ExchangeKeyed)
+	g.Connect("agg", "sink", dataflow.ExchangeRebalance)
+	s := simtime.NewScheduler()
+	rt := New(s, g, nil, Config{Seed: 7, MarkerInterval: -1})
+	rt.Start()
+	rt.RunFor(simtime.Sec(5))
+
+	ck := rt.StartStateCheckpoints(simtime.Sec(1))
+	ck.Stop() // drive take() by hand below; no timer churn in the loop
+	name := rt.Instance("agg", 0).Name()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ck.take()
+		for kg := 0; kg < 32; kg++ {
+			if _, ok := ck.Lookup("agg", name, kg); !ok {
+				b.Fatalf("kg %d in no snapshot", kg)
+			}
+		}
+	}
+}

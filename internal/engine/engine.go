@@ -99,6 +99,11 @@ type Runtime struct {
 	ckptSeq   int64
 	ckpt      *checkpointRound
 
+	// lostRecords counts data records dropped by faults: mid-service at a
+	// crashed instance, or stranded behind a recovery re-route. Always zero
+	// on a healthy run.
+	lostRecords uint64
+
 	// recPool recycles Record values on the ingest path: sources and marker
 	// injection draw from it, and records are returned when they die (applied
 	// without being forwarded, or a marker reaching its sink).
@@ -352,6 +357,12 @@ func (rt *Runtime) SourceBacklog() int {
 	}
 	return n
 }
+
+func (rt *Runtime) noteLostRecords(n uint64) { rt.lostRecords += n }
+
+// LostRecords reports how many data records faults have destroyed so far
+// (zero on healthy runs).
+func (rt *Runtime) LostRecords() uint64 { return rt.lostRecords }
 
 // TotalStateBytes sums keyed state across an operator's instances.
 func (rt *Runtime) TotalStateBytes(op string) int {

@@ -92,6 +92,10 @@ type Instance struct {
 	wakeQueued bool
 	costRng    *simtime.RNG
 
+	// dead marks a crashed instance (its node failed): Halted, state wiped,
+	// inputs queueing. See Fail/Revive.
+	dead bool
+
 	// Prebound closures and in-progress message state keep the per-record
 	// scheduling path free of closure allocations.
 	stepFn  func()
@@ -314,8 +318,76 @@ func (in *Instance) processDone() {
 	m, e := in.curMsg, in.curEdge
 	in.curMsg, in.curEdge = nil, nil
 	in.busy = false
+	if in.dead {
+		// The instance crashed while this message was mid-service. Data in
+		// the jaws of the crash is lost (a real system rewinds to the last
+		// checkpoint; the simulator counts the loss instead), but control
+		// messages keep their protocol obligations — discarding a barrier or
+		// a confirm here would wedge an alignment forever.
+		switch msg := m.(type) {
+		case *netsim.Record:
+			if !msg.Marker {
+				in.rt.noteLostRecords(1)
+			}
+			in.rt.recPool.Put(msg)
+		case *netsim.Rerouted:
+			if inner, ok := msg.Inner.(*netsim.Record); ok {
+				if !inner.Marker {
+					in.rt.noteLostRecords(1)
+				}
+				in.rt.recPool.Put(inner)
+			} else {
+				in.apply(m, e)
+			}
+		default:
+			in.apply(m, e)
+		}
+		return
+	}
 	in.apply(m, e)
 	in.Wake()
+}
+
+// Fail kills the instance in place (its node crashed): processing freezes,
+// keyed state is wiped, and input edges keep queueing — peers back-pressure
+// against the corpse instead of observing a vanished endpoint, which is what
+// lets in-flight scaling protocols settle deterministically. Returns the
+// sorted key groups whose state was lost, for checkpoint-based recovery.
+func (in *Instance) Fail() []int {
+	in.dead = true
+	in.Halted = true
+	lost := in.store.Groups()
+	for _, kg := range lost {
+		in.store.ExtractGroup(kg)
+	}
+	return lost
+}
+
+// Dead reports whether the instance is currently crashed.
+func (in *Instance) Dead() bool { return in.dead }
+
+// Revive returns a crashed instance to service. The caller (the fault
+// injector's recovery path) is responsible for re-placing it on a live node
+// and re-installing state before calling this.
+func (in *Instance) Revive() {
+	in.dead = false
+	in.Halted = false
+	in.Wake()
+}
+
+// ChargeBusy occupies the instance for d without processing anything — the
+// recovery path uses it to charge checkpoint-replay time (progress since the
+// last snapshot is re-earned, not free).
+func (in *Instance) ChargeBusy(d simtime.Duration) {
+	if d <= 0 {
+		in.Wake()
+		return
+	}
+	in.busy = true
+	in.rt.Sched.After(d, func() {
+		in.busy = false
+		in.Wake()
+	})
 }
 
 // apply dispatches one consumed message.
@@ -355,6 +427,16 @@ func (in *Instance) apply(m netsim.Message, e *netsim.Edge) {
 // (Emit clears the candidate). Scaling hooks use it for rerouted records so
 // the migration window recycles like the steady state.
 func (in *Instance) ApplyRecord(r *netsim.Record) {
+	if in.Spec.KeyedInput && !in.store.HasGroup(r.KeyGroup) {
+		// Stranded: the record was routed here before a fault-recovery repair
+		// repointed its key group elsewhere. A real system replays it from
+		// the rewound checkpoint; the simulator drops it and counts the loss.
+		// Unreachable on a healthy run — every mechanism lands state before
+		// its records become processable.
+		in.rt.noteLostRecords(1)
+		in.rt.recPool.Put(r)
+		return
+	}
 	in.Processed++
 	if in.logic == nil {
 		return

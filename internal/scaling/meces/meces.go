@@ -133,7 +133,7 @@ func (m *Mechanism) transfer(u subUnit, dst int) {
 		if g != nil {
 			bytes += g.Bytes
 		}
-		m.rt.Cluster.Transfer(from.Endpoint(), to.Endpoint(), bytes, func() {
+		m.rt.Cluster.TransferChecked(from.Endpoint(), to.Endpoint(), bytes, func() {
 			to.Store().OwnGroup(u.kg)
 			to.Store().InstallGroup(u.kg, g)
 			m.loc[u] = dst
@@ -143,6 +143,16 @@ func (m *Mechanism) transfer(u subUnit, dst int) {
 			from.Wake()
 			// A fetch-back may have regressed progress; make sure the
 			// background pusher is running to re-migrate it.
+			m.ensureBackground()
+		}, func(error) {
+			// Destination unreachable: the sub-unit merges back into its
+			// source shell and stays where it was. The background pusher keeps
+			// retrying; once the node restarts (or the group is re-planned
+			// away), the push converges.
+			from.Store().OwnGroup(u.kg)
+			from.Store().InstallGroup(u.kg, g)
+			m.inFlight[u] = false
+			from.Wake()
 			m.ensureBackground()
 		})
 	})

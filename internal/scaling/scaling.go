@@ -252,18 +252,22 @@ type Migrator struct {
 	InstallCost simtime.Duration
 
 	migrated map[int]bool
+	failed   map[int]bool
 	total    int
 	onAll    func()
 }
 
 // NewMigrator returns a migrator for the plan. onAll (optional) fires when
-// every planned move has completed.
+// every planned move has settled — completed, or failed against an unhealthy
+// destination (the state then sits back at its source and the controller's
+// recovery path re-plans it).
 func NewMigrator(rt *engine.Runtime, plan Plan, onAll func()) *Migrator {
 	return &Migrator{
 		rt:          rt,
 		plan:        plan,
 		InstallCost: 200 * simtime.Microsecond,
 		migrated:    make(map[int]bool),
+		failed:      make(map[int]bool),
 		onAll:       onAll,
 		total:       len(plan.Moves),
 	}
@@ -272,8 +276,36 @@ func NewMigrator(rt *engine.Runtime, plan Plan, onAll func()) *Migrator {
 // Migrated reports whether kg has completed migration.
 func (m *Migrator) Migrated(kg int) bool { return m.migrated[kg] }
 
-// Remaining reports moves not yet completed.
-func (m *Migrator) Remaining() int { return m.total - len(m.migrated) }
+// Remaining reports moves not yet settled.
+func (m *Migrator) Remaining() int { return m.total - len(m.migrated) - len(m.failed) }
+
+// Failed reports how many moves failed against an unhealthy destination.
+func (m *Migrator) Failed() int { return len(m.failed) }
+
+// settle re-homes a move whose transfer failed: the extracted state merges
+// back into the source store and every predecessor's routing entry is pointed
+// back at the source, so records keep flowing to where the state actually is.
+// The move then counts as settled — sequences continue past it and onAll can
+// fire — leaving the re-plan to the control plane's recovery supersession.
+func (m *Migrator) settleFailure(kg int, g *state.Group, mv dataflow.Move) {
+	from := m.rt.Instance(m.plan.Operator, mv.From)
+	from.Store().InstallGroup(kg, g)
+	for _, p := range m.rt.PredecessorInstances(m.plan.Operator) {
+		if tbl := p.Routing(m.plan.Operator); tbl != nil {
+			tbl.SetOwner(kg, mv.From)
+		}
+	}
+	m.failed[kg] = true
+	from.Wake()
+}
+
+func (m *Migrator) checkAll() {
+	if len(m.migrated)+len(m.failed) == m.total && m.onAll != nil {
+		all := m.onAll
+		m.onAll = nil
+		all()
+	}
+}
 
 // MigrateGroup extracts kg from its source instance and transfers it to the
 // destination under the given signal label; done (optional) fires after the
@@ -292,7 +324,7 @@ func (m *Migrator) MigrateGroup(kg int, signal string, done func()) {
 	if g != nil {
 		bytes = g.Bytes
 	}
-	m.rt.Cluster.Transfer(from.Endpoint(), to.Endpoint(), bytes, func() {
+	m.rt.Cluster.TransferChecked(from.Endpoint(), to.Endpoint(), bytes, func() {
 		m.rt.Sched.After(m.InstallCost, func() {
 			to.Store().InstallGroup(kg, g)
 			m.rt.Scale.UnitMigrated(kg, m.rt.Sched.Now())
@@ -301,12 +333,14 @@ func (m *Migrator) MigrateGroup(kg int, signal string, done func()) {
 			if done != nil {
 				done()
 			}
-			if len(m.migrated) == m.total && m.onAll != nil {
-				all := m.onAll
-				m.onAll = nil
-				all()
-			}
+			m.checkAll()
 		})
+	}, func(error) {
+		m.settleFailure(kg, g, move)
+		if done != nil {
+			done()
+		}
+		m.checkAll()
 	})
 }
 
@@ -369,7 +403,7 @@ func (m *Migrator) MigrateAllAtOnce(kgs []int, signal string, done func()) {
 		p, items := p, batches[p]
 		from := m.rt.Instance(m.plan.Operator, p.from)
 		to := m.rt.Instance(m.plan.Operator, p.to)
-		m.rt.Cluster.Transfer(from.Endpoint(), to.Endpoint(), bytes[p], func() {
+		m.rt.Cluster.TransferChecked(from.Endpoint(), to.Endpoint(), bytes[p], func() {
 			m.rt.Sched.After(m.InstallCost, func() {
 				for _, it := range items {
 					to.Store().InstallGroup(it.kg, it.g)
@@ -381,12 +415,17 @@ func (m *Migrator) MigrateAllAtOnce(kgs []int, signal string, done func()) {
 				if remaining == 0 && done != nil {
 					done()
 				}
-				if len(m.migrated) == m.total && m.onAll != nil {
-					all := m.onAll
-					m.onAll = nil
-					all()
-				}
+				m.checkAll()
 			})
+		}, func(error) {
+			for _, it := range items {
+				m.settleFailure(it.kg, it.g, dataflow.Move{KeyGroup: it.kg, From: p.from, To: p.to})
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+			m.checkAll()
 		})
 	}
 }
@@ -396,4 +435,31 @@ func (m *Migrator) findMove(kg int) dataflow.Move {
 		return mv
 	}
 	panic(fmt.Sprintf("scaling: kg %d not in plan", kg))
+}
+
+// ReconcileRouting points every predecessor's routing entry for op at each
+// key group's actual current holder. On a healthy run it is a no-op — every
+// entry is rewritten to the value it already has and no events fire. After a
+// fault-interrupted operation it repairs the divergence an abandoned
+// migration can leave behind: a key group re-homed to its source (or restored
+// from checkpoint at a revived instance) while some predecessor table still
+// points at the old destination. PlanFromPlacement only emits moves where
+// holder and target owner differ, so such a stale route would otherwise never
+// be corrected; the control plane calls this before planning every operation.
+func ReconcileRouting(rt *engine.Runtime, op string) {
+	holder := make(map[int]int)
+	for _, in := range rt.Instances(op) {
+		for _, kg := range in.Store().Groups() {
+			holder[kg] = in.Index
+		}
+	}
+	for _, p := range rt.PredecessorInstances(op) {
+		tbl := p.Routing(op)
+		if tbl == nil {
+			continue
+		}
+		for kg, idx := range holder {
+			tbl.SetOwner(kg, idx)
+		}
+	}
 }

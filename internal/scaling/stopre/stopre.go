@@ -85,6 +85,11 @@ func (m *Mechanism) restart(rt *engine.Runtime, plan scaling.Plan, signal string
 			}
 		}
 		rt.EachInstance(func(in *engine.Instance) {
+			if in.Dead() {
+				// Crashed mid-restart: only the fault injector's recovery path
+				// may revive it, after re-placement and state restore.
+				return
+			}
 			in.Halted = false
 			if in.Spec.Source != nil {
 				in.PauseData = false

@@ -207,6 +207,11 @@ func (g *Group) Merge(other *Group) {
 	}
 }
 
+// Clone deep-copies the group — the checkpoint/restore path: snapshots must
+// not alias live slabs, and restores must not hand the checkpoint's only copy
+// to a store that will keep mutating it.
+func (g *Group) Clone() *Group { return g.clone() }
+
 // clone deep-copies the group (aux payloads are copied shallowly; simulated
 // state values are immutable or replaced wholesale on Put).
 func (g *Group) clone() *Group {
