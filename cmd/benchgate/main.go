@@ -17,6 +17,19 @@
 // runner class changes. allocs/op and B/op are exact, so a zero-alloc
 // baseline fails on the first allocation that sneaks back in. A negative
 // (or absent) metric in the baseline is not gated for that benchmark.
+//
+// Exit status distinguishes the failure class so CI steps and scripts can
+// react without scraping stderr:
+//
+//	0  every compared benchmark within threshold
+//	1  at least one benchmark regressed beyond the threshold
+//	2  usage or environment error (bad flags, unreadable files, malformed input)
+//	3  input incomplete: no bench lines, no overlap with the baseline, or a
+//	   gated metric absent from the input (e.g. -benchmem dropped) — the run
+//	   proves nothing, which must not pass silently
+//
+// When both regressions and missing metrics occur, the regression wins (exit
+// 1): the run did prove a slowdown.
 package main
 
 import (
@@ -29,6 +42,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+)
+
+// Exit statuses, one per failure class (see the package comment).
+const (
+	exitOK         = 0
+	exitRegression = 1
+	exitUsage      = 2
+	exitIncomplete = 3
 )
 
 // Baseline is the checked-in reference (bench_baseline.json).
@@ -62,41 +83,59 @@ func (b *Benchmark) UnmarshalJSON(data []byte) error {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline JSON to compare against")
-	input := flag.String("input", "", "benchmark output file (default stdin)")
-	threshold := flag.Float64("threshold", 0, "override the baseline's regression threshold (fraction)")
-	update := flag.Bool("update", false, "rewrite the baseline from the input instead of gating")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	in := io.Reader(os.Stdin)
+// run is main with its environment injected, returning the exit status.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "bench_baseline.json", "baseline JSON to compare against")
+	input := fs.String("input", "", "benchmark output file (default stdin)")
+	threshold := fs.Float64("threshold", 0, "override the baseline's regression threshold (fraction)")
+	update := fs.Bool("update", false, "rewrite the baseline from the input instead of gating")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	in := stdin
 	if *input != "" {
 		f, err := os.Open(*input)
 		if err != nil {
-			fatalf("open input: %v", err)
+			fmt.Fprintf(stderr, "benchgate: open input: %v\n", err)
+			return exitUsage
 		}
 		defer f.Close()
 		in = f
 	}
 	measured, err := parseBench(in)
 	if err != nil {
-		fatalf("parse benchmark output: %v", err)
+		fmt.Fprintf(stderr, "benchgate: parse benchmark output: %v\n", err)
+		return exitUsage
 	}
 	if len(measured) == 0 {
-		fatalf("no benchmark result lines in input — did the bench step run with -bench?")
+		fmt.Fprintf(stderr, "benchgate: no benchmark result lines in input — did the bench step run with -bench?\n")
+		return exitIncomplete
 	}
 
 	if *update {
-		writeBaseline(*baselinePath, measured, *threshold)
-		return
+		if err := writeBaseline(*baselinePath, measured, *threshold); err != nil {
+			fmt.Fprintf(stderr, "benchgate: write baseline: %v\n", err)
+			return exitUsage
+		}
+		fmt.Fprintf(stdout, "benchgate: baseline %s updated with %d benchmark(s)\n", *baselinePath, len(measured))
+		return exitOK
 	}
 
 	data, err := os.ReadFile(*baselinePath)
 	if err != nil {
-		fatalf("read baseline: %v", err)
+		fmt.Fprintf(stderr, "benchgate: read baseline: %v\n", err)
+		return exitUsage
 	}
 	var base Baseline
 	if err := json.Unmarshal(data, &base); err != nil {
-		fatalf("decode baseline %s: %v", *baselinePath, err)
+		fmt.Fprintf(stderr, "benchgate: decode baseline %s: %v\n", *baselinePath, err)
+		return exitUsage
 	}
 	limit := base.Threshold
 	if *threshold > 0 {
@@ -106,12 +145,94 @@ func main() {
 		limit = 0.15
 	}
 
+	results, compared := compare(&base, measured, limit, stdout)
+	if compared == 0 {
+		fmt.Fprintf(stderr, "benchgate: none of the %d baseline benchmarks appeared in the input\n", len(base.Benchmarks))
+		return exitIncomplete
+	}
+	regressed, incomplete := 0, 0
+	for _, r := range results {
+		if len(r.failures) == 0 {
+			continue
+		}
+		if r.regressed() {
+			regressed++
+		} else {
+			incomplete++
+		}
+		fmt.Fprintf(stderr, "benchgate: FAIL %s\n", r.summary())
+	}
+	switch {
+	case regressed > 0:
+		fmt.Fprintf(stderr, "benchgate: %d of %d benchmark(s) regressed beyond +%d%%\n", regressed, compared, int(limit*100))
+		return exitRegression
+	case incomplete > 0:
+		fmt.Fprintf(stderr, "benchgate: %d benchmark(s) missing gated metrics in the input\n", incomplete)
+		return exitIncomplete
+	}
+	fmt.Fprintf(stdout, "benchgate: %d benchmark(s) within +%d%% of baseline\n", compared, int(limit*100))
+	return exitOK
+}
+
+// metricFailure is one gated metric gone bad: either over budget or absent
+// from the input entirely.
+type metricFailure struct {
+	metric  string
+	got     float64
+	base    float64
+	missing bool
+}
+
+// result is one compared benchmark's verdict.
+type result struct {
+	name     string
+	limit    float64
+	failures []metricFailure
+}
+
+// regressed reports whether any failure is a real over-budget measurement
+// (as opposed to a gated metric missing from the input).
+func (r *result) regressed() bool {
+	for _, f := range r.failures {
+		if !f.missing {
+			return true
+		}
+	}
+	return false
+}
+
+// summary renders the benchmark's verdict as a single line:
+//
+//	BenchmarkSchedulerTimerHeap: ns/op 1380 > 1150 (+38% over 1000); allocs/op gated but missing from input
+func (r *result) summary() string {
+	parts := make([]string, 0, len(r.failures))
+	for _, f := range r.failures {
+		if f.missing {
+			parts = append(parts, fmt.Sprintf("%s gated but missing from input", f.metric))
+			continue
+		}
+		if f.base > 0 {
+			over := (f.got - f.base) / f.base * 100
+			parts = append(parts, fmt.Sprintf("%s %.4g > %.4g (+%.0f%% over %.4g)",
+				f.metric, f.got, f.base*(1+r.limit), over, f.base))
+		} else {
+			// A zero budget (e.g. a zero-alloc baseline) has no meaningful
+			// percentage: any measurement at all is the regression.
+			parts = append(parts, fmt.Sprintf("%s %.4g (baseline %.4g)", f.metric, f.got, f.base))
+		}
+	}
+	return fmt.Sprintf("%s: %s", r.name, strings.Join(parts, "; "))
+}
+
+// compare walks the baseline in name order, prints the per-metric table to
+// w, and returns one result per compared benchmark plus the compare count.
+func compare(base *Baseline, measured map[string]*Benchmark, limit float64, w io.Writer) ([]*result, int) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var failures []string
+	var results []*result
 	compared := 0
 	for _, name := range names {
 		want := base.Benchmarks[name]
@@ -120,6 +241,7 @@ func main() {
 			continue // this CI step ran a subset of the gated benchmarks
 		}
 		compared++
+		r := &result{name: name, limit: limit}
 		check := func(metric string, got, want float64) {
 			if want < 0 {
 				return // metric not gated for this benchmark
@@ -128,35 +250,23 @@ func main() {
 				// A gated metric missing from the input means the bench step
 				// lost its flag (e.g. -benchmem): passing silently would
 				// defeat the gate exactly when it matters.
-				failures = append(failures, fmt.Sprintf("%s %s: gated by the baseline but absent from the input (missing -benchmem?)",
-					name, metric))
-				fmt.Printf("%-34s %-12s %14s  baseline %14.4g  FAIL\n", name, metric, "missing", want)
+				r.failures = append(r.failures, metricFailure{metric: metric, base: want, missing: true})
+				fmt.Fprintf(w, "%-34s %-12s %14s  baseline %14.4g  FAIL\n", name, metric, "missing", want)
 				return
 			}
-			allowed := want * (1 + limit)
 			status := "ok"
-			if got > allowed {
+			if got > want*(1+limit) {
 				status = "FAIL"
-				failures = append(failures, fmt.Sprintf("%s %s: %.4g > %.4g (baseline %.4g +%d%%)",
-					name, metric, got, allowed, want, int(limit*100)))
+				r.failures = append(r.failures, metricFailure{metric: metric, got: got, base: want})
 			}
-			fmt.Printf("%-34s %-12s %14.4g  baseline %14.4g  %s\n", name, metric, got, want, status)
+			fmt.Fprintf(w, "%-34s %-12s %14.4g  baseline %14.4g  %s\n", name, metric, got, want, status)
 		}
 		check("ns/op", got.NsPerOp, want.NsPerOp)
 		check("allocs/op", got.AllocsPerOp, want.AllocsPerOp)
 		check("B/op", got.BytesPerOp, want.BytesPerOp)
+		results = append(results, r)
 	}
-	if compared == 0 {
-		fatalf("none of the %d baseline benchmarks appeared in the input", len(base.Benchmarks))
-	}
-	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s) beyond +%d%%:\n", len(failures), int(limit*100))
-		for _, f := range failures {
-			fmt.Fprintf(os.Stderr, "  %s\n", f)
-		}
-		os.Exit(1)
-	}
-	fmt.Printf("benchgate: %d benchmark(s) within +%d%% of baseline\n", compared, int(limit*100))
+	return results, compared
 }
 
 // parseBench extracts ns/op and allocs/op per benchmark from `go test -bench`
@@ -213,7 +323,7 @@ func parseBench(r io.Reader) (map[string]*Benchmark, error) {
 	return out, sc.Err()
 }
 
-func writeBaseline(path string, measured map[string]*Benchmark, threshold float64) {
+func writeBaseline(path string, measured map[string]*Benchmark, threshold float64) error {
 	if threshold <= 0 {
 		threshold = 0.15
 	}
@@ -223,16 +333,8 @@ func writeBaseline(path string, measured map[string]*Benchmark, threshold float6
 		Benchmarks: measured,
 	}
 	data, err := json.MarshalIndent(base, "", "  ")
-	if err == nil {
-		err = os.WriteFile(path, append(data, '\n'), 0o644)
-	}
 	if err != nil {
-		fatalf("write baseline: %v", err)
+		return err
 	}
-	fmt.Printf("benchgate: baseline %s updated with %d benchmark(s)\n", path, len(measured))
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
-	os.Exit(2)
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchMalformedValue(t *testing.T) {
+	in := "BenchmarkSchedulerTimerHeap-8   1000   12x34 ns/op   0 allocs/op\n"
+	_, err := parseBench(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("malformed ns/op value parsed without error")
+	}
+	if !strings.Contains(err.Error(), `bad value "12x34"`) {
+		t.Fatalf("error %q does not name the bad value", err)
+	}
+}
+
+func TestParseBenchNormalizesAndKeepsMin(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkEdgePump-8     2000   1500 ns/op   3 allocs/op   128 B/op",
+		"BenchmarkEdgePump-8     2000   1400 ns/op   3 allocs/op   120 B/op",
+		"not a bench line",
+		"BenchmarkNoSuffix       1000   900 ns/op",
+		"PASS",
+	}, "\n")
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	ep := got["BenchmarkEdgePump"]
+	if ep == nil {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if ep.NsPerOp != 1400 || ep.BytesPerOp != 120 {
+		t.Fatalf("repeated runs should keep the minimum, got ns=%v B=%v", ep.NsPerOp, ep.BytesPerOp)
+	}
+	if ns := got["BenchmarkNoSuffix"]; ns == nil || ns.AllocsPerOp != -1 {
+		t.Fatalf("absent allocs/op should stay ungated (-1), got %+v", ns)
+	}
+}
+
+// writeTestBaseline writes a one-benchmark baseline gating all three metrics
+// and returns its path.
+func writeTestBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	base := `{
+  "threshold": 0.10,
+  "benchmarks": {
+    "BenchmarkEdgePump": {"ns_per_op": 1000, "allocs_per_op": 2, "bytes_per_op": 64}
+  }
+}
+`
+	if err := os.WriteFile(path, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGate(t *testing.T, baseline, input string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run([]string{"-baseline", baseline}, strings.NewReader(input), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunExitStatuses(t *testing.T) {
+	baseline := writeTestBaseline(t)
+
+	t.Run("within threshold", func(t *testing.T) {
+		code, out, _ := runGate(t, baseline, "BenchmarkEdgePump-8 1000 1050 ns/op 2 allocs/op 64 B/op\n")
+		if code != exitOK {
+			t.Fatalf("exit %d, want %d", code, exitOK)
+		}
+		if !strings.Contains(out, "within +10%") {
+			t.Fatalf("missing pass summary in stdout:\n%s", out)
+		}
+	})
+
+	t.Run("regression", func(t *testing.T) {
+		code, _, errs := runGate(t, baseline, "BenchmarkEdgePump-8 1000 1300 ns/op 3 allocs/op 64 B/op\n")
+		if code != exitRegression {
+			t.Fatalf("exit %d, want %d", code, exitRegression)
+		}
+		// One summary line per regressed benchmark, naming every bad metric.
+		if !strings.Contains(errs, "FAIL BenchmarkEdgePump: ns/op 1300 > 1100 (+30% over 1000); allocs/op 3 > 2.2 (+50% over 2)") {
+			t.Fatalf("missing per-benchmark summary line in stderr:\n%s", errs)
+		}
+	})
+
+	t.Run("malformed input", func(t *testing.T) {
+		code, _, errs := runGate(t, baseline, "BenchmarkEdgePump-8 1000 oops ns/op\n")
+		if code != exitUsage {
+			t.Fatalf("exit %d, want %d", code, exitUsage)
+		}
+		if !strings.Contains(errs, "bad value") {
+			t.Fatalf("stderr does not explain the parse failure:\n%s", errs)
+		}
+	})
+
+	t.Run("gated metric missing", func(t *testing.T) {
+		code, _, errs := runGate(t, baseline, "BenchmarkEdgePump-8 1000 1050 ns/op\n")
+		if code != exitIncomplete {
+			t.Fatalf("exit %d, want %d", code, exitIncomplete)
+		}
+		if !strings.Contains(errs, "allocs/op gated but missing from input") {
+			t.Fatalf("stderr does not name the missing metric:\n%s", errs)
+		}
+	})
+
+	t.Run("no bench lines", func(t *testing.T) {
+		code, _, _ := runGate(t, baseline, "goos: linux\nPASS\n")
+		if code != exitIncomplete {
+			t.Fatalf("exit %d, want %d", code, exitIncomplete)
+		}
+	})
+
+	t.Run("no overlap with baseline", func(t *testing.T) {
+		code, _, _ := runGate(t, baseline, "BenchmarkSomethingElse-8 10 5 ns/op\n")
+		if code != exitIncomplete {
+			t.Fatalf("exit %d, want %d", code, exitIncomplete)
+		}
+	})
+
+	t.Run("regression beats missing metric", func(t *testing.T) {
+		code, _, _ := runGate(t, baseline, "BenchmarkEdgePump-8 1000 1300 ns/op\n")
+		if code != exitRegression {
+			t.Fatalf("exit %d, want %d", code, exitRegression)
+		}
+	})
+}
+
+func TestSummaryZeroBaseline(t *testing.T) {
+	r := &result{name: "BenchmarkStatePutGet", limit: 0.15, failures: []metricFailure{
+		{metric: "allocs/op", got: 3, base: 0},
+	}}
+	want := "BenchmarkStatePutGet: allocs/op 3 (baseline 0)"
+	if got := r.summary(); got != want {
+		t.Fatalf("summary = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,214 @@
+// Command drrs-lint is the vettool driver for the determinism analyzers in
+// internal/lint. It speaks cmd/go's unitchecker protocol on the standard
+// library alone (no golang.org/x/tools dependency), so the whole tree is
+// checked with:
+//
+//	go build -o bin/drrs-lint ./cmd/drrs-lint
+//	go vet -vettool=./bin/drrs-lint ./...
+//
+// Protocol: `go vet` first asks for -flags (JSON flag descriptions) and
+// -V=full (a content-derived version line used to key the vet result
+// cache), then invokes the tool once per package with the path of a
+// vet.cfg JSON file describing the package's sources and the export data
+// of its dependencies. Dependency packages arrive with VetxOnly=true and
+// are skipped outright — the analyzers carry no cross-package facts.
+//
+// Analyzers can be disabled individually, e.g.:
+//
+//	go vet -vettool=./bin/drrs-lint -maporder=false ./...
+//
+// Exit status: 0 clean, 1 internal error (bad config, typecheck failure),
+// 2 diagnostics reported — mirroring x/tools' unitchecker.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"drrs/internal/lint"
+)
+
+// vetConfig mirrors the vet.cfg JSON that cmd/go writes for each package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (cmd/go passes -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit")
+	enabled := make(map[string]*bool)
+	for _, a := range lint.All() {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		// cmd/go keys its vet-result cache on this line, so derive it from
+		// the binary's own content: rebuilt analyzers invalidate stale
+		// verdicts even when the source tree is otherwise unchanged.
+		fmt.Printf("drrs-lint version %s\n", selfHash())
+		return
+	case *flagsFlag:
+		printFlagDefs()
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: drrs-lint vet.cfg  (run via go vet -vettool=drrs-lint)")
+		os.Exit(1)
+	}
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	diags, err := checkPackage(flag.Arg(0), analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drrs-lint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+		os.Exit(2)
+	}
+}
+
+func checkPackage(cfgPath string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("decode %s: %v", cfgPath, err)
+	}
+	// cmd/go expects the facts output file to exist even though the
+	// analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// A dependency analyzed only for facts; nothing to do.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data cmd/go listed for us: the
+	// import path goes through ImportMap (vendoring, test variants) and the
+	// canonical path names a compiler export file in PackageFile.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q listed in %s", path, cfgPath)
+		}
+		return os.Open(file)
+	})
+	tcfg := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				path = importPath
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compilerImporter.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+	return lint.Run(fset, files, pkg, info, analyzers)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// printFlagDefs describes the analyzer on/off flags in the JSON shape
+// cmd/go expects from `vettool -flags`.
+func printFlagDefs() {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var out []jsonFlag
+	for _, a := range lint.All() {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, _ := json.Marshal(out)
+	fmt.Println(string(data))
+}
+
+// selfHash fingerprints the running binary for the -V=full version line.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

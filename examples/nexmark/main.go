@@ -18,14 +18,14 @@ func main() {
 		"mechanism", "peak(ms)", "avg(ms)", "scaling(s)", "suspension(ms)")
 
 	for _, mech := range []string{"drrs", "meces", "megaphone", "no-scale"} {
-		t0 := time.Now()
+		t0 := time.Now() //lint:allow nowallclock wall-clock report column; measured around a finished run
 		sc := bench.Q7Scenario(1)
 		o := sc.Run(bench.Mechanisms(mech))
 		peak := o.PeakIn(o.ScaleAt, o.EndAt)
 		avg := o.AvgIn(o.ScaleAt, o.EndAt)
 		fmt.Printf("%-12s %12.1f %12.1f %14.2f %14.1f   (wall %v)\n",
 			mech, peak, avg, o.ScalingPeriod().Seconds(),
-			o.Scale.CumulativeSuspension().Millis(), time.Since(t0).Round(time.Millisecond))
+			o.Scale.CumulativeSuspension().Millis(), time.Since(t0).Round(time.Millisecond)) //lint:allow nowallclock wall-clock report column; measured around a finished run
 	}
 	fmt.Println()
 	fmt.Println("Expected shape (paper): DRRS lowest peak/avg and shortest scaling;")

@@ -150,16 +150,14 @@ func fmtFinalP(hist map[int]int) string {
 		}
 		return fmt.Sprintf("%d", p)
 	}
-	if len(hist) == 1 {
-		for p := range hist {
-			return label(p)
-		}
-	}
 	var ps []int
 	for p := range hist {
 		ps = append(ps, p)
 	}
 	sort.Ints(ps)
+	if len(ps) == 1 {
+		return label(ps[0])
+	}
 	var parts []string
 	for _, p := range ps {
 		parts = append(parts, fmt.Sprintf("%s×%d", label(p), hist[p]))

@@ -147,7 +147,8 @@ func compare(scenario func(int64) Scenario, mechs []string, seeds []int64) map[s
 func rowsFrom(outs map[string][]Outcome) map[string]Row {
 	from, to := measureWindow(outs)
 	rows := make(map[string]Row)
-	for mech, runs := range outs {
+	for _, mech := range sortedKeys(outs) {
+		runs := outs[mech]
 		var peak, avg, dur, mig, prop, dep, susp []float64
 		for _, o := range runs {
 			peak = append(peak, o.PeakIn(from, to))
@@ -171,9 +172,9 @@ func rowsFrom(outs map[string][]Outcome) map[string]Row {
 	return rows
 }
 
-func sortedKeys(rows map[string]Row) []string {
-	keys := make([]string, 0, len(rows))
-	for k := range rows {
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -627,6 +627,7 @@ func (m *Mechanism) maybeCleanup() {
 	if m.cleaned || !m.finished {
 		return
 	}
+	//lint:allow maporder QueuedTotal is a pure read; the loop computes an any-nonempty predicate, which no iteration order can change
 	for _, e := range m.rerouteEdges {
 		if e.QueuedTotal() > 0 {
 			return

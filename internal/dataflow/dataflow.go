@@ -286,8 +286,13 @@ func (g *Graph) Topological() []string {
 // Validate checks structural integrity: every non-source has inputs, every
 // source has outputs, and the graph is acyclic.
 func (g *Graph) Validate() error {
-	for n, op := range g.ops {
-		if op.Source == nil && len(g.inputs[n]) == 0 {
+	names := make([]string, 0, len(g.ops))
+	for n := range g.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if op := g.ops[n]; op.Source == nil && len(g.inputs[n]) == 0 {
 			return fmt.Errorf("dataflow: operator %s has no inputs and is not a source", n)
 		}
 	}

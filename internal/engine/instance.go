@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"drrs/internal/dataflow"
 	"drrs/internal/netsim"
@@ -652,9 +653,28 @@ func (in *Instance) alignOn(key string, e *netsim.Edge) bool {
 	return len(set) >= len(in.ins)
 }
 
-// releaseAlignment unblocks the channels captured under key.
+// releaseAlignment unblocks the channels captured under key, in sorted
+// (src, dst) endpoint order: unblocking re-arms delivery timers, and map
+// order here would vary the same-instant FIFO sequence between runs.
 func (in *Instance) releaseAlignment(key string) {
+	edges := make([]*netsim.Edge, 0, len(in.aligners[key]))
 	for e := range in.aligners[key] {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Src != b.Src {
+			if a.Src.Op != b.Src.Op {
+				return a.Src.Op < b.Src.Op
+			}
+			return a.Src.Index < b.Src.Index
+		}
+		if a.Dst.Op != b.Dst.Op {
+			return a.Dst.Op < b.Dst.Op
+		}
+		return a.Dst.Index < b.Dst.Index
+	})
+	for _, e := range edges {
 		in.UnblockEdge(e)
 	}
 	delete(in.aligners, key)

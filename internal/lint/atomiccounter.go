@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicCounter flags mixed atomic/plain access to package-level counters.
+// The parallel runner executes scenario replicas on a worker pool, so a
+// package-level counter touched from simulation code is shared across
+// goroutines; once any site uses sync/atomic on it, every other read or
+// write must too — a plain `x++` next to `atomic.AddUint64(&x, 1)` is a
+// data race and, worse, a nondeterminism source that only shows up under
+// -parallel (the PR 2 scaleIDs bug: ID allocation raced, renaming scale
+// operations between runs). Counters wrapped in the typed atomics
+// (atomic.Uint64 & co.) cannot be misused this way and are not flagged.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "flag plain reads/writes of package-level counters that are accessed via sync/atomic elsewhere in the package",
+	Run:  runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) error {
+	counters := packageLevelIntVars(pass)
+	if len(counters) == 0 {
+		return nil
+	}
+	type use struct {
+		pos    token.Pos
+		write  bool
+		atomic bool
+	}
+	uses := make(map[*types.Var][]use)
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || !counters[v] {
+				return true
+			}
+			uses[v] = append(uses[v], use{
+				pos:    id.Pos(),
+				write:  isWriteUse(id, stack),
+				atomic: isAtomicUse(pass.TypesInfo, stack),
+			})
+			return true
+		})
+	}
+	// Walk the counters in declaration order so diagnostics come out
+	// deterministically — the suite must satisfy its own maporder rule.
+	ordered := make([]*types.Var, 0, len(uses))
+	for v := range uses {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+	for _, v := range ordered {
+		us := uses[v]
+		hasAtomic := false
+		for _, u := range us {
+			if u.atomic {
+				hasAtomic = true
+				break
+			}
+		}
+		if !hasAtomic {
+			continue
+		}
+		for _, u := range us {
+			if u.atomic {
+				continue
+			}
+			verb := "read"
+			if u.write {
+				verb = "write"
+			}
+			pass.Reportf(u.pos, "plain %s of package-level counter %s, which is accessed via sync/atomic elsewhere; this races under the parallel runner — use atomic.Load/Add or the typed atomics", verb, v.Name())
+		}
+	}
+	return nil
+}
+
+// packageLevelIntVars collects the package-scope variables of plain integer
+// type — candidate counters. Typed atomics (atomic.Int64 …) are excluded by
+// construction since their underlying type is a struct.
+func packageLevelIntVars(pass *Pass) map[*types.Var]bool {
+	vars := make(map[*types.Var]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok {
+			continue
+		}
+		basic, ok := v.Type().Underlying().(*types.Basic)
+		if !ok || basic.Info()&(types.IsInteger|types.IsUnsigned) == 0 {
+			continue
+		}
+		vars[v] = true
+	}
+	return vars
+}
+
+// isAtomicUse reports whether the identifier at the top of the stack is
+// used as `&x` directly inside a call to a sync/atomic function.
+func isAtomicUse(info *types.Info, stack []ast.Node) bool {
+	// stack: … CallExpr UnaryExpr(&) Ident
+	if len(stack) < 3 {
+		return false
+	}
+	un, ok := stack[len(stack)-2].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := typeutilCallee(info, call).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isWriteUse reports whether the identifier is assigned to (including
+// compound assignment and ++/--).
+func isWriteUse(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == ast.Expr(id) {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return parent.X == ast.Expr(id)
+	}
+	return false
+}

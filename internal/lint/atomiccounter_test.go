@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"drrs/internal/lint"
+	"drrs/internal/lint/linttest"
+)
+
+func TestAtomicCounter(t *testing.T) {
+	linttest.Run(t, "testdata", lint.AtomicCounter, "counters")
+}

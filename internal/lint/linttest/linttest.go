@@ -1,0 +1,191 @@
+// Package linttest is a hermetic, stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest for the drrs lint suite. A
+// test points it at a package under testdata/src (GOPATH-style layout);
+// the harness parses and type-checks it, runs one analyzer through the
+// same lint.Run pipeline the vettool driver uses (so //lint:allow
+// suppression behaves identically), and compares the diagnostics against
+// `// want "regexp"` comments in the sources.
+//
+// Imports resolve inside testdata/src only: stdlib packages the fixtures
+// need ("time", "math/rand", "sync/atomic", …) are stubbed there, which
+// keeps the tests independent of GOROOT layout and fast. A fixture import
+// with no stub fails loudly.
+//
+// A want comment holds one or more quoted regular expressions and binds to
+// the line it sits on:
+//
+//	rand.Intn(6) // want `global math/rand`
+//	x := rand.New(rand.NewSource(1)) // want "ad-hoc rand.New" "ad-hoc rand.NewSource"
+//
+// Every diagnostic must match an unconsumed want on its line and every
+// want must be consumed, or the test fails.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"drrs/internal/lint"
+)
+
+// Run loads testdata/src/<pkgPath> beneath dir, applies the analyzer, and
+// checks its diagnostics against the package's want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	l := &loader{
+		fset: token.NewFileSet(),
+		src:  filepath.Join(dir, "src"),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+		pkgs:  make(map[string]*types.Package),
+		files: make(map[string][]*ast.File),
+	}
+	pkg, err := l.Import(pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgPath, err)
+	}
+	files := l.files[pkgPath]
+	diags, err := lint.Run(l.fset, files, pkg, l.info, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkgPath, err)
+	}
+	wants, err := collectWants(l.fset, files)
+	if err != nil {
+		t.Fatalf("parse want comments in %s: %v", pkgPath, err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+type loader struct {
+	fset  *token.FileSet
+	src   string
+	info  *types.Info
+	pkgs  map[string]*types.Package
+	files map[string][]*ast.File
+}
+
+// Import loads and type-checks the testdata package at path, memoized.
+// It is both the harness entry point and the types.Importer fixtures
+// resolve through, so stubs and fixtures share one loading path.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: no testdata stub: %v", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("import %q: no .go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	cfg := types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %q: %v", path, err)
+	}
+	l.pkgs[path] = pkg
+	l.files[path] = files
+	return pkg, nil
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+const wantPrefix = "// want "
+
+// collectWants extracts the expectations from every file's comments,
+// keyed by "filename:line".
+func collectWants(fset *token.FileSet, files []*ast.File) (map[string][]*want, error) {
+	wants := make(map[string][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, wantPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, wantPrefix))
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want pattern %q (quote each regexp)", pos, rest)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %v", pos, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad regexp %q: %v", pos, pat, err)
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &want{re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants, nil
+}

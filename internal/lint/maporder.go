@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for … range m` over a map when the loop body lets
+// iteration order escape into the simulation. Go randomizes map iteration
+// per run, so a body that schedules timers, appends to a metrics series,
+// calls cluster/netsim/engine mutators, or accumulates floating point in
+// map order produces a different event sequence every run — the exact bug
+// class fixed by hand in PR 1 (scaling batch construction) and PR 2
+// (CloseAllSuspensions curve appends). The sanctioned idiom is
+// collect-and-sort: range the map only to gather keys into a slice, sort
+// it, then range the slice. A body is therefore safe when it only
+// assigns/appends into locals, folds exactly-representable values, or
+// tests membership; it is flagged when it
+//
+//   - calls any function or method that is not a builtin, a conversion, or
+//     a known-pure helper (strings/strconv/math/sort/fmt.Sprintf-style
+//     value producers, simtime arithmetic) — an opaque call is assumed to
+//     observe order;
+//   - sends on a channel, spawns a goroutine, or defers in map order;
+//   - returns a value derived from the iteration variables (an arbitrary
+//     pick);
+//   - accumulates into a floating-point variable declared outside the loop
+//     (FP addition does not commute in the low bits).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body side-effects the simulation without collect-and-sort; map order must never reach the event stream",
+	Run:  runMapOrder,
+}
+
+// pureStdlibPkgs are packages whose exported functions only compute values.
+// A call into one of these inside a map range cannot observe iteration
+// order. "sort" and "slices" qualify because sorting a local collection
+// erases whatever insertion order produced it.
+var pureStdlibPkgs = map[string]bool{
+	"strings":      true,
+	"strconv":      true,
+	"math":         true,
+	"math/bits":    true,
+	"math/cmplx":   true,
+	"unicode":      true,
+	"unicode/utf8": true,
+	"errors":       true,
+	"sort":         true,
+	"slices":       true,
+	"maps":         true,
+	"cmp":          true,
+	"bytes":        true,
+	"path":         true,
+	"regexp":       true,
+	"time":         true, // conversions and Duration/Time arithmetic; clock reads are nowallclock's job
+}
+
+// pureFmtFuncs are the value-producing fmt functions. The printing ones
+// (Print*, Fprint*) write to a stream in iteration order and stay flagged.
+var pureFmtFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Errorf":   true,
+}
+
+// pureSimtimeMethods are the value-receiver arithmetic helpers on
+// simtime.Time/Duration. Timer.Cancel also has a value receiver but
+// mutates the scheduler, so purity is decided by name, not receiver kind.
+var pureSimtimeMethods = map[string]bool{
+	"Add":     true,
+	"Sub":     true,
+	"Millis":  true,
+	"Seconds": true,
+	"String":  true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pos, what := orderSensitiveEffect(pass, rs); what != "" {
+				// Anchor the report on the range statement — that is where
+				// the collect-and-sort fix goes and where an //lint:allow
+				// comment is expected — and point at the effect by line.
+				pass.Reportf(rs.For, "map iteration order reaches the simulation: %s (line %d); collect the keys, sort, then range the slice (see PR 1/2 map-order fixes)", what, pass.Fset.Position(pos).Line)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderSensitiveEffect scans a map-range body for the first construct that
+// lets iteration order escape, returning its position and a description,
+// or "" if the body is order-safe.
+func orderSensitiveEffect(pass *Pass, rs *ast.RangeStmt) (token.Pos, string) {
+	loopVars := rangeVars(pass.TypesInfo, rs)
+	// Returns inside closures do not exit the loop; record closure extents
+	// so the arbitrary-pick rule skips them. Calls and sends inside a
+	// closure still run (or are registered) per map entry and stay flagged.
+	var closures []*ast.FuncLit
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			closures = append(closures, fl)
+		}
+		return true
+	})
+	inClosure := func(p token.Pos) bool {
+		for _, fl := range closures {
+			if fl.Pos() <= p && p <= fl.End() {
+				return true
+			}
+		}
+		return false
+	}
+	var pos token.Pos
+	var what string
+	found := func(p token.Pos, format string, args ...any) {
+		if what == "" {
+			pos, what = p, fmt.Sprintf(format, args...)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if desc := impureCall(pass, n); desc != "" {
+				found(n.Pos(), "%s", desc)
+			}
+		case *ast.SendStmt:
+			found(n.Arrow, "channel send inside the loop delivers in map order")
+		case *ast.GoStmt:
+			found(n.Go, "goroutine launched per map entry starts in map order")
+		case *ast.DeferStmt:
+			found(n.Defer, "defer inside the loop runs in (reverse) map order")
+		case *ast.ReturnStmt:
+			if inClosure(n.Return) {
+				break
+			}
+			for _, res := range n.Results {
+				if usesAny(pass.TypesInfo, res, loopVars) {
+					found(n.Return, "return of a loop variable picks an arbitrary map entry")
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			if desc := floatAccumulation(pass, rs, n); desc != "" {
+				found(n.TokPos, "%s", desc)
+			}
+		}
+		return true
+	})
+	return pos, what
+}
+
+// rangeVars collects the objects bound to the range's key and value.
+func rangeVars(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+// usesAny reports whether expr references any of the given objects.
+func usesAny(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	if len(objs) == 0 {
+		return false
+	}
+	used := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// impureCall classifies a call inside a map-range body. It returns "" for
+// calls that provably cannot observe iteration order (builtins,
+// conversions, known-pure helpers) and a description for everything else.
+func impureCall(pass *Pass, call *ast.CallExpr) string {
+	info := pass.TypesInfo
+	// Type conversions produce values.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return ""
+	}
+	callee := typeutilCallee(info, call)
+	switch fn := callee.(type) {
+	case *types.Builtin:
+		return "" // append/len/delete/copy/… act on operands the caller controls
+	case *types.Func:
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return "" // error.Error and friends from the universe scope
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		isMethod := sig != nil && sig.Recv() != nil
+		switch {
+		case pureStdlibPkgs[pkg.Path()]:
+			return ""
+		case pkg.Path() == "fmt" && pureFmtFuncs[fn.Name()]:
+			return ""
+		case isSimtimePkgForPurity(pkg.Path()) && isMethod && pureSimtimeMethods[fn.Name()]:
+			return ""
+		}
+		if isMethod {
+			// Qualify foreign receiver types by package name, not import
+			// path: diagnostics read like the source does.
+			qual := func(p *types.Package) string {
+				if p == pass.Pkg {
+					return ""
+				}
+				return p.Name()
+			}
+			recv := sig.Recv().Type()
+			return fmt.Sprintf("call to (%s).%s runs per map entry", types.TypeString(recv, qual), fn.Name())
+		}
+		return fmt.Sprintf("call to %s.%s runs per map entry", pkg.Name(), fn.Name())
+	case nil:
+		// A dynamic call: a closure, function value, or field. Its body is
+		// out of reach, so assume it observes order.
+		return "dynamic call runs per map entry"
+	default:
+		return "dynamic call runs per map entry"
+	}
+}
+
+func isSimtimePkgForPurity(path string) bool {
+	return isSimtimePkg(path) || path == "simtime"
+}
+
+// typeutilCallee resolves the called function or builtin, mirroring
+// x/tools' typeutil.Callee on the stdlib only.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) types.Object {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // package-qualified call
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](…).
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+	case *ast.IndexListExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+	}
+	return nil
+}
+
+// floatAccumulation flags `x += v` (or -=, *=, /=) where x is a
+// floating-point variable declared outside the loop: FP addition is not
+// associative, so folding map-ordered values drifts in the low bits.
+// Integer folds commute exactly and stay legal.
+func floatAccumulation(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return ""
+	}
+	if len(as.Lhs) != 1 {
+		return ""
+	}
+	lhs := as.Lhs[0]
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return ""
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return ""
+	}
+	// An accumulator declared inside the loop resets every iteration and
+	// cannot carry order across entries.
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if rs.Body.Pos() <= obj.Pos() && obj.Pos() <= rs.Body.End() {
+				return ""
+			}
+		}
+	}
+	return fmt.Sprintf("floating-point accumulation (%s) folds values in map order and drifts in the low bits", as.Tok)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"drrs/internal/lint"
+	"drrs/internal/lint/linttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapOrder, "mapord")
+}

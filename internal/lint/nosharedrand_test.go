@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"drrs/internal/lint"
+	"drrs/internal/lint/linttest"
+)
+
+func TestNoSharedRand(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoSharedRand, "sharedrand")
+}
+
+// TestNoSharedRandSimtimeExemption checks the carve-out: a package whose
+// import path ends in internal/simtime may construct generators, but global
+// draws stay illegal even there.
+func TestNoSharedRandSimtimeExemption(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoSharedRand, "sharedrand/internal/simtime")
+}

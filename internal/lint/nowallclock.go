@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoWallClock forbids reading the wall clock in simulation code. Simulated
+// time must come from a simtime.Scheduler: a single time.Now() in a hot
+// path silently couples outcomes to host speed, destroying bit-for-bit
+// reproducibility across machines and runs. Formatting helpers
+// (time.Duration, time.ParseDuration, constants) stay legal — they compute
+// on values, they do not observe the clock. The bench runner's wall-budget
+// reporting (wall-time columns in figures, report timestamps) is the one
+// legitimate consumer of real time and carries //lint:allow nowallclock
+// comments at each site.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid wall-clock reads (time.Now, time.Since, time.Sleep, timers) in simulation code; virtual time must come from simtime",
+	Run:  runNoWallClock,
+}
+
+// wallClockFuncs are the package-level functions of "time" that observe or
+// wait on the host clock. Everything else in "time" (conversions, parsing,
+// constants, types) is pure and allowed.
+var wallClockFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"Tick":      "creates a wall-clock ticker",
+	"After":     "creates a wall-clock timer",
+	"AfterFunc": "creates a wall-clock timer",
+	"NewTimer":  "creates a wall-clock timer",
+	"NewTicker": "creates a wall-clock ticker",
+}
+
+func runNoWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass.TypesInfo, sel.X)
+			if pn == nil || pn.Imported().Path() != "time" {
+				return true
+			}
+			if what, bad := wallClockFuncs[sel.Sel.Name]; bad {
+				pass.Reportf(sel.Pos(), "time.%s %s; simulation time must come from the simtime.Scheduler (use sched.Now/At/After)", sel.Sel.Name, what)
+			}
+			return true
+		})
+	}
+	return nil
+}

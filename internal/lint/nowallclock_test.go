@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"drrs/internal/lint"
+	"drrs/internal/lint/linttest"
+)
+
+func TestNoWallClock(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallClock, "wallclock")
+}
+
+// TestNoWallClockAllowWrongAnalyzer checks that a well-formed allow for a
+// different analyzer does not silence nowallclock.
+func TestNoWallClockAllowWrongAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallClock, "allowsyntax")
+}

@@ -1,0 +1,13 @@
+// Package allowsyntax checks that a well-formed //lint:allow for one
+// analyzer does not silence another. The malformed-allow diagnostics
+// (missing reason, unknown analyzer) are covered white-box in
+// lint_test.go, since they anchor on the comment's own line, which
+// cannot also carry an expectation comment.
+package allowsyntax
+
+import "time"
+
+func wrongAnalyzer() time.Time {
+	//lint:allow maporder an allow for one analyzer must not silence another
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,30 @@
+// Package counters exercises the atomiccounter analyzer: a package-level
+// integer touched via sync/atomic anywhere must be atomic everywhere.
+package counters
+
+import "sync/atomic"
+
+var scaleIDs uint64 // mixed atomic/plain: every plain use below is flagged
+
+var plainOnly uint64 // never touched atomically; plain uses stay legal
+
+var typedID atomic.Uint64 // typed atomics carry the discipline in the type
+
+func nextID() uint64 {
+	return atomic.AddUint64(&scaleIDs, 1)
+}
+
+func bad() uint64 {
+	scaleIDs++      // want `plain write of package-level counter scaleIDs`
+	scaleIDs = 0    // want `plain write of package-level counter scaleIDs`
+	return scaleIDs // want `plain read of package-level counter scaleIDs`
+}
+
+func good() uint64 {
+	plainOnly++
+	local := plainOnly
+	local++
+	typedID.Add(1)
+	_ = typedID.Load()
+	return atomic.LoadUint64(&scaleIDs) + local
+}

@@ -1,0 +1,12 @@
+// Package simtime is a miniature of drrs's internal/simtime for the
+// maporder fixtures: Duration arithmetic is pure, Scheduler.After is a
+// scheduling side effect.
+package simtime
+
+type Duration int64
+
+func (d Duration) Millis() float64 { return float64(d) / 1e6 }
+
+type Scheduler struct{ n int }
+
+func (s *Scheduler) After(d Duration, fn func()) { s.n++ }

@@ -1,0 +1,151 @@
+// Package mapord exercises the maporder analyzer: map-range bodies whose
+// effects observe iteration order are flagged; collect-and-sort and pure
+// folds are not.
+package mapord
+
+import (
+	"fmt"
+	"sort"
+
+	"mapord/internal/simtime"
+)
+
+func touch(int) {}
+
+func callsOut(m map[int]int) {
+	for k := range m { // want `call to mapord\.touch runs per map entry`
+		touch(k)
+	}
+}
+
+type series struct{ xs []float64 }
+
+func (s *series) Append(x float64) { s.xs = append(s.xs, x) }
+
+func methodCall(m map[int]float64, s *series) {
+	for _, v := range m { // want `call to \(\*series\)\.Append runs per map entry`
+		s.Append(v)
+	}
+}
+
+func schedule(m map[int]simtime.Duration, sched *simtime.Scheduler) {
+	for _, d := range m { // want `call to \(\*simtime\.Scheduler\)\.After runs per map entry`
+		sched.After(d, func() {})
+	}
+}
+
+func emit(m map[int]int, ch chan int) {
+	for k := range m { // want `channel send inside the loop delivers in map order`
+		ch <- k
+	}
+}
+
+func spawn(m map[int]int) {
+	for k := range m { // want `goroutine launched per map entry starts in map order`
+		go touch(k)
+	}
+}
+
+func deferred(m map[int]int) {
+	for k := range m { // want `defer inside the loop runs in \(reverse\) map order`
+		defer touch(k)
+	}
+}
+
+func dynamic(m map[int]int, fn func(int)) {
+	for k := range m { // want `dynamic call runs per map entry`
+		fn(k)
+	}
+}
+
+func pick(m map[int]int) int {
+	for k := range m { // want `return of a loop variable picks an arbitrary map entry`
+		return k
+	}
+	return 0
+}
+
+func sums(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `floating-point accumulation \(\+=\) folds values in map order`
+		sum += v
+	}
+	return sum
+}
+
+// collectAndSort is the sanctioned idiom: the map range only gathers keys,
+// the effectful loop runs over the sorted slice.
+func collectAndSort(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// total folds integers, which commute exactly.
+func total(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// format writes into another map keyed identically; fmt.Sprintf is a pure
+// value producer.
+func format(m map[int]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[k] = fmt.Sprintf("%d", v)
+	}
+	return out
+}
+
+// pureSimtime uses a conversion and a value-receiver arithmetic method.
+func pureSimtime(m map[int]int64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		d := simtime.Duration(v)
+		out[k] = d.Millis()
+	}
+	return out
+}
+
+// anyNegative computes an order-insensitive predicate.
+func anyNegative(m map[int]int) bool {
+	neg := false
+	for _, v := range m {
+		if v < 0 {
+			neg = true
+		}
+	}
+	return neg
+}
+
+// perEntry accumulates into a float declared inside the loop body, which
+// resets each iteration and cannot carry order across entries.
+func perEntry(m map[int][]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, vs := range m {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// allowed shows the suppression path for a deliberate exception.
+func allowed(m map[int]int) {
+	//lint:allow maporder touch is order-insensitive here; documented exception
+	for k := range m {
+		touch(k)
+	}
+}

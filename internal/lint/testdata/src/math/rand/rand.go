@@ -1,0 +1,29 @@
+// Package rand is a minimal stub of math/rand for hermetic analyzer tests.
+package rand
+
+type Source interface {
+	Int63() int64
+	Seed(seed int64)
+}
+
+type Rand struct{}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+func Int() int                           { return 0 }
+func Intn(n int) int                     { return 0 }
+func Int63() int64                       { return 0 }
+func Int63n(n int64) int64               { return 0 }
+func Float64() float64                   { return 0 }
+func ExpFloat64() float64                { return 0 }
+func NormFloat64() float64               { return 0 }
+func Perm(n int) []int                   { return nil }
+func Seed(seed int64)                    {}
+func Shuffle(n int, swap func(i, j int)) {}
+
+func (r *Rand) Int() int             { return 0 }
+func (r *Rand) Intn(n int) int       { return 0 }
+func (r *Rand) Int63n(n int64) int64 { return 0 }
+func (r *Rand) Float64() float64     { return 0 }
+func (r *Rand) Perm(n int) []int     { return nil }

@@ -1,0 +1,17 @@
+// Package simtime stands in for drrs's internal/simtime: the one place
+// allowed to mint rand generators (its path ends in internal/simtime).
+// Global draws stay illegal even here.
+package simtime
+
+import "math/rand"
+
+type RNG struct{ *rand.Rand }
+
+// NewRNG may construct generators: this package is the stream factory.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}
+
+func bad() int64 {
+	return rand.Int63() // want `rand\.Int63 draws from the process-global`
+}

@@ -1,0 +1,25 @@
+// Package sharedrand exercises the nosharedrand analyzer outside
+// internal/simtime: global draws and ad-hoc constructors are flagged,
+// method calls on an injected stream are not.
+package sharedrand
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Int()                     // want `rand\.Int draws from the process-global`
+	_ = rand.Intn(6)                   // want `rand\.Intn draws from the process-global`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global`
+	rand.Seed(42)                      // want `rand\.Seed draws from the process-global`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global`
+	r := rand.New(rand.NewSource(1))   // want `ad-hoc rand\.New outside` `ad-hoc rand\.NewSource outside`
+	_ = r
+}
+
+// good receives a stream minted by simtime: method calls draw from that
+// named stream, which is exactly the discipline the analyzer enforces.
+func good(r *rand.Rand) int {
+	_ = r.Float64()
+	_ = r.Perm(4)
+	var _ rand.Source // type references are fine
+	return r.Intn(6)
+}

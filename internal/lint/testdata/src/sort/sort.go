@@ -1,0 +1,6 @@
+// Package sort is a minimal stub of sort for hermetic analyzer tests.
+package sort
+
+func Ints(x []int)                          {}
+func Strings(x []string)                    {}
+func Slice(x any, less func(i, j int) bool) {}

@@ -1,0 +1,35 @@
+// Package time is a minimal stub of the standard library's time package:
+// the analyzers match on import path and symbol name, so fixtures stay
+// hermetic (no GOROOT typechecking) by resolving against this.
+package time
+
+type Time struct{ ns int64 }
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+type Timer struct{ C <-chan Time }
+
+type Ticker struct{ C <-chan Time }
+
+func Now() Time                                { return Time{} }
+func Since(t Time) Duration                    { return 0 }
+func Until(t Time) Duration                    { return 0 }
+func Sleep(d Duration)                         {}
+func Tick(d Duration) <-chan Time              { return nil }
+func After(d Duration) <-chan Time             { return nil }
+func AfterFunc(d Duration, f func()) *Timer    { return nil }
+func NewTimer(d Duration) *Timer               { return nil }
+func NewTicker(d Duration) *Ticker             { return nil }
+func ParseDuration(s string) (Duration, error) { return 0, nil }
+
+func (t Time) Add(d Duration) Time  { return t }
+func (t Time) Sub(u Time) Duration  { return 0 }
+func (d Duration) Seconds() float64 { return 0 }
+func (d Duration) String() string   { return "" }

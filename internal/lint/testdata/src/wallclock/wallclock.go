@@ -1,0 +1,39 @@
+// Package wallclock exercises the nowallclock analyzer: clock reads and
+// timer constructions are flagged, pure time arithmetic is not.
+package wallclock
+
+import (
+	"time"
+	wall "time"
+)
+
+func bad() {
+	_ = time.Now()                             // want `time\.Now reads the wall clock`
+	_ = time.Since(time.Time{})                // want `time\.Since reads the wall clock`
+	_ = time.Until(time.Time{})                // want `time\.Until reads the wall clock`
+	time.Sleep(time.Second)                    // want `time\.Sleep blocks on the wall clock`
+	_ = time.Tick(time.Second)                 // want `time\.Tick creates a wall-clock ticker`
+	_ = time.After(time.Second)                // want `time\.After creates a wall-clock timer`
+	_ = time.NewTimer(time.Second)             // want `time\.NewTimer creates a wall-clock timer`
+	_ = time.NewTicker(time.Second)            // want `time\.NewTicker creates a wall-clock ticker`
+	_ = time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc creates a wall-clock timer`
+	_ = wall.Now()                             // want `time\.Now reads the wall clock`
+}
+
+func good() {
+	d, _ := time.ParseDuration("5ms") // parsing computes a value, it does not observe the clock
+	_ = d.Seconds()
+	_ = time.Duration(42)
+	_ = time.Millisecond
+	var t0 time.Time
+	_ = t0.Add(d) // Time arithmetic on values is pure
+}
+
+type fake struct{}
+
+func (fake) Now() int { return 0 }
+
+func shadowed() int {
+	time := fake{}    // a local identifier shadowing the package
+	return time.Now() // resolves to fake.Now, not the clock
+}

@@ -7,6 +7,7 @@ package scaletest
 
 import (
 	"fmt"
+	"sort"
 
 	"drrs/internal/cluster"
 	"drrs/internal/engine"
@@ -102,17 +103,30 @@ func CheckExactlyOnce(baseline, scaled Result) string {
 	if d := scaled.Sink.Duplicates(); d != 0 {
 		return fmt.Sprintf("%d duplicated sequence numbers", d)
 	}
-	for k, want := range baseline.Sink.ByKey {
+	// Report the lowest offending key so a failure message is stable across
+	// runs instead of naming whichever key map iteration met first.
+	for _, k := range sortedKeys(baseline.Sink.ByKey) {
+		want := baseline.Sink.ByKey[k]
 		if got := scaled.Sink.ByKey[k]; got != want {
 			return fmt.Sprintf("key %d aggregate: scaled %v vs baseline %v", k, got, want)
 		}
 	}
-	for k := range scaled.Sink.ByKey {
+	for _, k := range sortedKeys(scaled.Sink.ByKey) {
 		if _, ok := baseline.Sink.ByKey[k]; !ok {
 			return fmt.Sprintf("key %d appears only in scaled run", k)
 		}
 	}
 	return ""
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // CheckPlacement verifies every key group lives exactly where the plan put

@@ -453,13 +453,18 @@ func ReconcileRouting(rt *engine.Runtime, op string) {
 			holder[kg] = in.Index
 		}
 	}
+	kgs := make([]int, 0, len(holder))
+	for kg := range holder {
+		kgs = append(kgs, kg)
+	}
+	sort.Ints(kgs)
 	for _, p := range rt.PredecessorInstances(op) {
 		tbl := p.Routing(op)
 		if tbl == nil {
 			continue
 		}
-		for kg, idx := range holder {
-			tbl.SetOwner(kg, idx)
+		for _, kg := range kgs {
+			tbl.SetOwner(kg, holder[kg])
 		}
 	}
 }
