@@ -17,6 +17,8 @@
 //	drrs-bench -experiment all -parallel 8 -perf BENCH.json
 //	drrs-bench -experiment control -seeds 2 -json control.json
 //	drrs-bench -experiment fig15 -parallel 1 -cpuprofile cpu.out -memprofile mem.out
+//	drrs-bench -record mu.trace -workload million-users -seed 1
+//	drrs-bench -replay mu.trace -workload million-users -seed 1
 //
 // Experiments: fig2, fig10 (also emits Figs 11–13 from the same runs),
 // fig14, fig15, multiwave, sweep, topology (rack-local vs spread placement),
@@ -29,6 +31,12 @@
 // control policy decides); -faults forces every run's fault plan (a fault
 // spec like "crash@12s:node=r0n1,restart=6s;ckpt=2s", or "off" to disable
 // the chaos scenarios' own plans).
+//
+// -record runs one scenario once while capturing the arrival stream its
+// sources consume, writes it to a versioned trace file, and prints the run's
+// outcome digest. -replay alone runs the trace back through one scenario and
+// prints the digest again — identical digests are the byte-identity check.
+// -replay combined with -experiment feeds the trace to every run of a figure.
 //
 // -json writes every figure's structured rows (plus decision counts where
 // applicable) as a machine-readable record, so CI jobs consume figures
@@ -54,7 +62,8 @@ import (
 	"time"
 
 	"drrs/internal/bench"
-	"drrs/internal/control"
+	"drrs/internal/bench/cliopts"
+	"drrs/internal/scaling"
 )
 
 // figuresJSON is the top-level -json document: every figure's structured
@@ -99,11 +108,8 @@ func main() {
 	seeds := flag.Int("seeds", 3, "number of repeated runs per configuration")
 	baseSeed := flag.Int64("seed", 1, "base seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS, 1 = sequential)")
-	topology := flag.String("topology", "", "override every run's cluster: "+strings.Join(bench.Topologies(), " | "))
-	placement := flag.String("placement", "", "override every run's placement policy: spread | pack | rack-local")
-	driver := flag.String("driver", "", "override every run's driving: script | controller")
-	policy := flag.String("policy", "", "control policy for controller driving: "+strings.Join(control.PolicyNames(), " | "))
-	faultsSpec := flag.String("faults", "", "override every run's fault plan: a fault spec (e.g. crash@12s:node=r0n1,restart=6s;ckpt=2s) or off")
+	var opts cliopts.Common
+	opts.Bind(flag.CommandLine)
 	perfOut := flag.String("perf", "", "write a JSON perf record (wall time, events/sec per figure) to this file")
 	jsonOut := flag.String("json", "", "write every figure's structured rows as machine-readable JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
@@ -120,6 +126,7 @@ func main() {
 				layout = "flat single node"
 			}
 			fmt.Printf("%-22s %-20s %-44s %s\n", def.Name, sc.ProgramString(), layout, def.Description)
+			fmt.Printf("%-22s %-20s traffic: %s\n", "", "", def.TrafficSummary())
 			if fs := sc.Faults.Summary(); fs != "" {
 				fmt.Printf("%-22s %-20s faults: %s\n", "", "", fs)
 			}
@@ -140,23 +147,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drrs-bench: -workload %q selects no scenarios\n", *workloadName)
 		os.Exit(2)
 	}
-	if *experiment == "topology" && *placement != "" {
+	if *experiment == "topology" && opts.Placement != "" {
 		// The topology figure IS the placement comparison; an override would
 		// collapse both columns onto one policy.
 		fmt.Fprintf(os.Stderr, "drrs-bench: -placement is ignored by -experiment topology (it compares policies itself)\n")
-		*placement = ""
+		opts.Placement = ""
 	}
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				fmt.Fprintf(os.Stderr, "drrs-bench: %v\n", r)
-				os.Exit(2)
-			}
-		}()
-		bench.SetClusterOverride(*topology, *placement)
-		bench.SetDriverOverride(*driver, *policy)
-		bench.SetFaultsOverride(*faultsSpec)
-	}()
+	if err := opts.Apply(); err != nil {
+		fmt.Fprintf(os.Stderr, "drrs-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	bench.Workers = *parallel
 
@@ -177,6 +177,16 @@ func main() {
 			}()
 			bench.Mechanisms(m)
 		}()
+	}
+
+	// Trace mode: -record captures one run's arrival stream to a file;
+	// -replay without an explicit -experiment runs the recorded stream back
+	// through one scenario and prints the digest (the byte-identity check).
+	// -replay with an explicit -experiment falls through: the whole figure
+	// run consumes the trace via the installed override.
+	if opts.Record != "" || (opts.Replay != "" && !flagWasSet("experiment")) {
+		runTrace(&opts, *workloadName, mechList, *baseSeed)
+		return
 	}
 
 	// Profiling setup runs after every usage-error exit above, and once it
@@ -376,6 +386,61 @@ func ablation(seed int64) bench.FigureResult {
 	b = append(b, bench.FormatSweep("DRRS node concurrency (sensitivity cluster)", bench.SweepNodeConcurrency(seed, []int{1, 2, 4})))
 	b = append(b, bench.FormatSweep("Megaphone batch size (Twitch)", bench.SweepMegaphoneBatch(seed, []int{1, 4, 16, 111})))
 	return bench.FigureResult{Title: "ablation", Text: strings.Join(b, "\n")}
+}
+
+// flagWasSet reports whether the named flag appeared on the command line
+// (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runTrace is the -record/-replay single-run mode: one scenario, one
+// mechanism, one seed. Record tees the run's arrival stream to a trace file;
+// replay feeds a recorded one back. Both print the outcome digest, so
+// byte-identity between a recorded run and its replay is checkable from the
+// shell.
+func runTrace(opts *cliopts.Common, workloadName string, mechList []string, seed int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "drrs-bench: %v\n", r)
+			os.Exit(2)
+		}
+	}()
+	names := splitList(workloadName)
+	if workloadName == "all" || len(names) != 1 {
+		fmt.Fprintf(os.Stderr, "drrs-bench: -record/-replay run one scenario: pass a single -workload (see -list)\n")
+		os.Exit(2)
+	}
+	mech := "drrs"
+	if len(mechList) > 0 {
+		mech = mechList[0]
+	}
+	sc := bench.ScenarioByName(names[0], seed)
+	factory := func() scaling.Mechanism { return bench.Mechanisms(mech) }
+
+	fmt.Printf("workload   : %s (seed %d, mechanism %s)\n", names[0], seed, mech)
+	if opts.Record != "" {
+		out, trace := sc.RecordWith(factory)
+		if err := trace.WriteFile(opts.Record); err != nil {
+			fmt.Fprintf(os.Stderr, "drrs-bench: -record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded   : %d events over %d source streams to %s\n",
+			trace.Events(), trace.SourceParallelism, opts.Record)
+		fmt.Printf("throughput : %d records total\n", out.Throughput.Total())
+		fmt.Printf("digest     : 0x%016x\n", bench.OutcomeDigest(out))
+		return
+	}
+	out := sc.RunWith(factory)
+	fmt.Printf("replayed   : %s\n", opts.Replay)
+	fmt.Printf("throughput : %d records total\n", out.Throughput.Total())
+	fmt.Printf("digest     : 0x%016x\n", bench.OutcomeDigest(out))
 }
 
 // workloads resolves the -workload flag: "all" expands to def, anything else

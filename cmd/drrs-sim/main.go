@@ -11,11 +11,19 @@
 //	drrs-sim -workload flash-crowd-reactive -mechanism meces
 //	drrs-sim -workload diurnal -mechanism drrs -driver controller -policy predictive
 //	drrs-sim -workload q8 -mechanism no-scale
+//	drrs-sim -workload million-users -record mu.trace
+//	drrs-sim -workload million-users -replay mu.trace
 //
 // -workload accepts any registered scenario (drrs-bench -list enumerates
 // them); multi-wave scenarios print one report block per wave. Closed-loop
 // scenarios (and any scenario forced onto -driver controller) additionally
 // print the controller's per-decision audit trail.
+//
+// The override flags (-topology, -placement, -driver, -policy, -faults,
+// -record, -replay) are shared with drrs-bench; -record captures the run's
+// arrival stream to a trace file and -replay feeds a recorded one back. The
+// report always ends with the outcome digest, so two runs can be compared
+// bit-for-bit from the shell.
 //
 // Mechanisms: drrs, drrs-dr, drrs-schedule, drrs-subscale, meces, megaphone,
 // otfs, otfs-allatonce, stop-restart, unbound, no-scale.
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"drrs/internal/bench"
+	"drrs/internal/bench/cliopts"
 	"drrs/internal/scaling"
 	"drrs/internal/simtime"
 )
@@ -36,10 +45,8 @@ func main() {
 	workloadName := flag.String("workload", "twitch", "any registered scenario (see drrs-bench -list)")
 	mechName := flag.String("mechanism", "drrs", "scaling mechanism (see doc)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	topology := flag.String("topology", "", "override the scenario's cluster (flat | swarm | rack4x4 | rack8x16 | tiers3x8)")
-	placement := flag.String("placement", "", "override the placement policy (spread | pack | rack-local)")
-	driver := flag.String("driver", "", "override the scenario's driving (script | controller)")
-	policy := flag.String("policy", "", "control policy for controller driving (threshold | backlog | predictive)")
+	var opts cliopts.Common
+	opts.Bind(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print the post-run instance table")
 	flag.Parse()
 
@@ -50,17 +57,38 @@ func main() {
 		}
 	}()
 
-	bench.SetClusterOverride(*topology, *placement)
-	bench.SetDriverOverride(*driver, *policy)
+	if err := opts.Apply(); err != nil {
+		fmt.Fprintf(os.Stderr, "drrs-sim: %v\n", err)
+		os.Exit(2)
+	}
 	sc := bench.ScenarioByName(*workloadName, *seed)
+	newMech := func() scaling.Mechanism { return bench.Mechanisms(*mechName) }
 	t0 := time.Now() //lint:allow nowallclock wall-clock report column; measured around a finished run
 	// Fresh mechanism per wave: multi-wave scenarios rescale repeatedly, and
 	// mechanisms carry per-operation state.
-	o := sc.RunWith(func() scaling.Mechanism { return bench.Mechanisms(*mechName) })
+	var o bench.Outcome
+	recorded := ""
+	if opts.Record != "" {
+		out, trace := sc.RecordWith(newMech)
+		if err := trace.WriteFile(opts.Record); err != nil {
+			fmt.Fprintf(os.Stderr, "drrs-sim: -record: %v\n", err)
+			os.Exit(1)
+		}
+		recorded = fmt.Sprintf("%d arrival events to %s", trace.Events(), opts.Record)
+		o = out
+	} else {
+		o = sc.RunWith(newMech)
+	}
 	wall := time.Since(t0) //lint:allow nowallclock wall-clock report column; measured around a finished run
 
 	fmt.Printf("workload   : %s (seed %d)\n", *workloadName, *seed)
 	fmt.Printf("mechanism  : %s\n", o.Mechanism)
+	if recorded != "" {
+		fmt.Printf("recorded   : %s\n", recorded)
+	}
+	if opts.Replay != "" {
+		fmt.Printf("replayed   : %s\n", opts.Replay)
+	}
 	fmt.Printf("virtual    : %v simulated in %v wall\n", simtime.Duration(o.EndAt), wall.Round(time.Millisecond))
 	if o.Mechanism != "no-scale" {
 		// ProgramString reflects the -driver/-policy override, like the run.
@@ -94,6 +122,9 @@ func main() {
 		fmt.Printf("migration  : %.2f MB moved, %.2f MB across rack uplinks\n",
 			float64(o.TransferredBytes)/(1<<20), float64(o.CrossRackBytes)/(1<<20))
 	}
+	// The digest fingerprints the run's full outcome; identical digests mean
+	// bit-identical runs (the -record/-replay round-trip check).
+	fmt.Printf("digest     : 0x%016x\n", bench.OutcomeDigest(o))
 	if *verbose {
 		fmt.Println("\ninstances:")
 		// Rebuild is not possible post-run; report the throughput timeline.

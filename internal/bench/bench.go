@@ -21,6 +21,7 @@ import (
 	"drrs/internal/metrics"
 	"drrs/internal/scaling"
 	"drrs/internal/simtime"
+	"drrs/internal/workload"
 )
 
 // Scenario describes one job + a program of scaling waves,
@@ -28,8 +29,19 @@ import (
 type Scenario struct {
 	// Name labels reports.
 	Name string
-	// Build constructs the job graph (and its sink) for a given seed.
+	// Build constructs the job graph (and its sink) for a given seed. Only
+	// scenarios with custom generators (twitch, nexmark) use it; custom-job
+	// scenarios set Job + Traffic instead and leave Build nil.
 	Build func(seed int64) (*dataflow.Graph, *engine.CollectSink)
+	// Job and Traffic describe the scenario through the split workload API:
+	// when Traffic is non-nil the run builds workload.BuildJob(Job, Traffic)
+	// — with the -replay override's trace swapped in for Traffic, and a
+	// Recorder wrapped around it under RecordWith.
+	Job     workload.JobConfig
+	Traffic workload.Traffic
+	// recorder, when set by RecordWith, tees the effective traffic into a
+	// Trace as the run consumes it.
+	recorder *workload.Recorder
 	// ScaleOp is the operator being rescaled.
 	ScaleOp string
 	// NewParallelism is the post-scaling parallelism of the classic
@@ -211,7 +223,7 @@ func (sc Scenario) Run(mech scaling.Mechanism) Outcome {
 // scaling). The scenario's Build must bound its generators to Warmup+Measure
 // (HorizonOf helps), or the drain would never terminate.
 func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
-	g, _ := sc.Build(sc.Seed)
+	g, _ := sc.buildGraph()
 	s := simtime.NewScheduler()
 	cl := sc.buildCluster(s)
 	// Initial deployment consults the cluster's placement policy, operator by

@@ -82,7 +82,7 @@ func TestScenarioRegistry(t *testing.T) {
 				t.Fatalf("scenario %s wave targets parallelism %d", name, w.NewParallelism)
 			}
 		}
-		g, _ := sc.Build(7)
+		g, _ := sc.buildGraph()
 		if err := g.Validate(); err != nil {
 			t.Fatalf("scenario %s graph invalid: %v", name, err)
 		}
@@ -161,7 +161,7 @@ func TestRunRefusesMechanismReuseAcrossWaves(t *testing.T) {
 
 func TestSensitivityScenarioPlacement(t *testing.T) {
 	sc := SensitivityScenario(1, 8000, 10<<20, 0.5)
-	g, _ := sc.Build(1)
+	g, _ := sc.buildGraph()
 	if g.Operator("agg").MaxKeyGroups != 256 {
 		t.Fatal("sensitivity must use 256 key groups (paper setup)")
 	}

@@ -1,0 +1,73 @@
+// Package cliopts binds and applies the run-override flags shared by
+// cmd/drrs-bench and cmd/drrs-sim: cluster topology, placement policy,
+// driving mode, control policy, fault plan, and trace record/replay. Both
+// binaries get the same flag names, help text, and validation from one
+// place, so they cannot drift.
+package cliopts
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"drrs/internal/bench"
+	"drrs/internal/control"
+)
+
+// Common holds the shared override flags after parsing.
+type Common struct {
+	Topology  string
+	Placement string
+	Driver    string
+	Policy    string
+	Faults    string
+	Record    string
+	Replay    string
+}
+
+// Bind registers the shared flags on fs (call before fs.Parse).
+func (c *Common) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&c.Topology, "topology", "",
+		"override the run's cluster: "+strings.Join(bench.Topologies(), " | "))
+	fs.StringVar(&c.Placement, "placement", "",
+		"override the run's placement policy: spread | pack | rack-local")
+	fs.StringVar(&c.Driver, "driver", "",
+		"override the run's driving: script | controller")
+	fs.StringVar(&c.Policy, "policy", "",
+		"control policy for controller driving: "+strings.Join(control.PolicyNames(), " | "))
+	fs.StringVar(&c.Faults, "faults", "",
+		"override the run's fault plan: a fault spec (e.g. crash@12s:node=r0n1,restart=6s;ckpt=2s) or off")
+	fs.StringVar(&c.Record, "record", "",
+		"record the run's arrival stream to this trace file (single-run mode)")
+	fs.StringVar(&c.Replay, "replay", "",
+		"replay a recorded trace file as the run's traffic")
+}
+
+// Apply validates the parsed flags and installs the bench-wide overrides.
+// The bench setters validate eagerly by panicking (they run before any
+// simulation); Apply converts those panics into errors so the binaries can
+// print a usage message instead of a stack trace.
+func (c *Common) Apply() (err error) {
+	if c.Record != "" && c.Replay != "" {
+		return fmt.Errorf("-record and -replay are mutually exclusive: a replayed run would just re-record its input trace")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	bench.SetClusterOverride(c.Topology, c.Placement)
+	bench.SetDriverOverride(c.Driver, c.Policy)
+	bench.SetFaultsOverride(c.Faults)
+	bench.SetTrafficOverride(c.Replay)
+	return nil
+}
+
+// Reset clears every bench-wide override Apply installs; tests use it to
+// leave the process-global state clean.
+func Reset() {
+	bench.SetClusterOverride("", "")
+	bench.SetDriverOverride("", "")
+	bench.SetFaultsOverride("")
+	bench.SetTrafficOverride("")
+}

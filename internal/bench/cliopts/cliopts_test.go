@@ -1,0 +1,105 @@
+package cliopts
+
+import (
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"drrs/internal/bench"
+	"drrs/internal/scaling"
+	"drrs/internal/workload"
+)
+
+// parse binds a fresh Common onto a throwaway FlagSet and parses args.
+func parse(t *testing.T, args ...string) *Common {
+	t.Helper()
+	var c Common
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.Bind(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &c
+}
+
+func TestBindRegistersSharedFlags(t *testing.T) {
+	c := parse(t,
+		"-topology", "rack4x4", "-placement", "spread",
+		"-driver", "controller", "-policy", "backlog",
+		"-faults", "off", "-replay", "x.trace")
+	if c.Topology != "rack4x4" || c.Placement != "spread" || c.Driver != "controller" ||
+		c.Policy != "backlog" || c.Faults != "off" || c.Replay != "x.trace" {
+		t.Fatalf("flags did not land in Common: %+v", c)
+	}
+}
+
+func TestApplyInstallsAndResetClears(t *testing.T) {
+	defer Reset()
+	dir := t.TempDir()
+	trace := workload.Synthesize(workload.Live(workload.Spec{
+		Cohorts:  []workload.Cohort{workload.DefaultCohort()},
+		Duration: 100,
+	}), 1)
+	path := filepath.Join(dir, "t.trace")
+	if err := trace.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c := parse(t, "-topology", "rack4x4", "-driver", "controller", "-policy", "backlog",
+		"-faults", "off", "-replay", path)
+	if err := c.Apply(); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	Reset()
+	// After Reset a scenario runs with its own choices again; the cheapest
+	// observable check is that Apply+Reset round-trips without panicking and
+	// a followup Apply of empty options succeeds.
+	if err := parse(t).Apply(); err != nil {
+		t.Fatalf("Apply of empty options after Reset: %v", err)
+	}
+}
+
+func TestApplyRejectsBadValuesAsErrors(t *testing.T) {
+	defer Reset()
+	for _, args := range [][]string{
+		{"-topology", "nonexistent"},
+		{"-placement", "nonexistent"},
+		{"-driver", "nonexistent"},
+		{"-policy", "nonexistent"},
+		{"-faults", "gibberish"},
+		{"-replay", "does-not-exist.trace"},
+	} {
+		c := parse(t, args...)
+		if err := c.Apply(); err == nil {
+			t.Errorf("Apply(%v) accepted a bad value", args)
+		}
+		Reset()
+	}
+}
+
+func TestApplyRejectsRecordPlusReplay(t *testing.T) {
+	defer Reset()
+	c := parse(t, "-record", "a.trace", "-replay", "b.trace")
+	err := c.Apply()
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("Apply allowed -record with -replay: %v", err)
+	}
+}
+
+// TestDriverOverrideReachesRuns exercises the full path: Apply installs the
+// override, and a scripted scenario then runs controller-driven.
+func TestDriverOverrideReachesRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full scenario")
+	}
+	defer Reset()
+	c := parse(t, "-driver", "controller", "-policy", "backlog")
+	if err := c.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bench.ScenarioByName("flash-crowd", 1)
+	out := sc.RunWith(func() scaling.Mechanism { return bench.Mechanisms("drrs") })
+	if out.Driver != "controller" {
+		t.Fatalf("override did not reach the run: driver %q", out.Driver)
+	}
+}

@@ -40,6 +40,14 @@ var goldenDigests = []struct {
 	{"straggler-rack", "drrs", 2, 0x850848da37ede3ff},
 	{"flaky-uplink", "drrs", 1, 0x3410233d624aaa9f},
 	{"flaky-uplink", "drrs", 2, 0xbcc727ef060cdda1},
+	// Cohort traffic: million-users exercises the full Spec surface (all four
+	// arrival processes, shared Zipf tables, staggered diurnal phases, hot-key
+	// drift, fixed key sets) under backlog-driven autoscaling, across two
+	// seeds; trace-replay pins the trace codec end to end — a format or
+	// repartition change that moves any arrival fails here.
+	{"million-users", "drrs", 1, 0x6ea3f3664d90c4d9},
+	{"million-users", "drrs", 2, 0xdc82e6b67928e013},
+	{"trace-replay", "drrs", 1, 0x17c13a9bce72a33d},
 }
 
 // TestGoldenDigests replays each pinned scenario and compares the digest.

@@ -5,8 +5,6 @@ import (
 	"strings"
 
 	"drrs/internal/cluster"
-	"drrs/internal/dataflow"
-	"drrs/internal/engine"
 	"drrs/internal/simtime"
 	"drrs/internal/workload"
 )
@@ -120,28 +118,28 @@ func init() {
 // across the shared 4 MB/s uplinks. The Zipf skew keeps a few key groups
 // dominant, so cross-rack placement also stretches the data plane.
 func RackSkewScenario(seed int64) Scenario {
+	job, traffic := workload.Config{
+		SourceParallelism: 2,
+		AggParallelism:    16,
+		MaxKeyGroups:      128,
+		Keys:              8000,
+		RatePerSec:        2000, // ×2 sources = 4K tps
+		// Skew 0.8 keeps instances hot without pinning a single key
+		// group past saturation (a group is the atomic migration unit,
+		// so scaling could never relieve that).
+		Skew:             0.8,
+		StateBytesPerKey: 1024,
+		// Mean utilization 0.5 at 16 instances; the Zipf skew pushes
+		// the hottest instances toward ~0.9, which is what the
+		// scale-out relieves.
+		CostPerRecord: 2 * simtime.Millisecond,
+		Duration:      shapeHorizon,
+		Seed:          seed,
+	}.Split()
 	return Scenario{
-		Name: "rack-skew",
-		Build: func(seed int64) (*dataflow.Graph, *engine.CollectSink) {
-			return workload.Build(workload.Config{
-				SourceParallelism: 2,
-				AggParallelism:    16,
-				MaxKeyGroups:      128,
-				Keys:              8000,
-				RatePerSec:        2000, // ×2 sources = 4K tps
-				// Skew 0.8 keeps instances hot without pinning a single key
-				// group past saturation (a group is the atomic migration unit,
-				// so scaling could never relieve that).
-				Skew:             0.8,
-				StateBytesPerKey: 1024,
-				// Mean utilization 0.5 at 16 instances; the Zipf skew pushes
-				// the hottest instances toward ~0.9, which is what the
-				// scale-out relieves.
-				CostPerRecord: 2 * simtime.Millisecond,
-				Duration:      shapeHorizon,
-				Seed:          seed,
-			})
-		},
+		Name:           "rack-skew",
+		Job:            job,
+		Traffic:        traffic,
 		ScaleOp:        "agg",
 		NewParallelism: 24,
 		Warmup:         shapeWarmup,
@@ -159,24 +157,24 @@ func RackSkewScenario(seed int64) Scenario {
 // actually binds. Sized so a seeded run finishes in seconds of wall time
 // (the CI smoke runs it with a wall-clock budget).
 func BigCluster128Scenario(seed int64) Scenario {
+	job, traffic := workload.Config{
+		SourceParallelism: 4,
+		AggParallelism:    256,
+		MaxKeyGroups:      1024,
+		Keys:              30000,
+		RatePerSec:        2400, // ×4 sources = 9.6K tps, util ≈ 0.75 at 256 instances
+		Skew:              0.5,
+		StateBytesPerKey:  512,
+		// 9.6K tps over 256 instances at 20 ms/record ≈ 0.75
+		// utilization: each instance is slow but the fleet is wide.
+		CostPerRecord: 20 * simtime.Millisecond,
+		Duration:      simtime.Duration(6+24) * simtime.Second,
+		Seed:          seed,
+	}.Split()
 	return Scenario{
-		Name: "bigcluster-128",
-		Build: func(seed int64) (*dataflow.Graph, *engine.CollectSink) {
-			return workload.Build(workload.Config{
-				SourceParallelism: 4,
-				AggParallelism:    256,
-				MaxKeyGroups:      1024,
-				Keys:              30000,
-				RatePerSec:        2400, // ×4 sources = 9.6K tps, util ≈ 0.75 at 256 instances
-				Skew:              0.5,
-				StateBytesPerKey:  512,
-				// 9.6K tps over 256 instances at 20 ms/record ≈ 0.75
-				// utilization: each instance is slow but the fleet is wide.
-				CostPerRecord: 20 * simtime.Millisecond,
-				Duration:      simtime.Duration(6+24) * simtime.Second,
-				Seed:          seed,
-			})
-		},
+		Name:           "bigcluster-128",
+		Job:            job,
+		Traffic:        traffic,
 		ScaleOp:        "agg",
 		NewParallelism: 320,
 		Warmup:         simtime.Sec(6),
@@ -192,25 +190,25 @@ func BigCluster128Scenario(seed int64) Scenario {
 // 0.7× tier, which gates re-stabilization; the scale-back 32→24 then has to
 // pull that state off again, crossing the tier racks both ways.
 func HeteroTiersScenario(seed int64) Scenario {
+	job, traffic := workload.Config{
+		SourceParallelism: 2,
+		AggParallelism:    24,
+		MaxKeyGroups:      256,
+		Keys:              10000,
+		RatePerSec:        2000, // ×2 sources = 4K tps
+		Skew:              0.8,
+		StateBytesPerKey:  768,
+		// Mean utilization 0.32–0.6 across the 1.3×/0.7× tiers at 24
+		// instances: the slow tier queues visibly but does not
+		// saturate, so both waves can re-stabilize.
+		CostPerRecord: 2500 * simtime.Microsecond,
+		Duration:      shapeHorizon,
+		Seed:          seed,
+	}.Split()
 	return Scenario{
-		Name: "hetero-tiers",
-		Build: func(seed int64) (*dataflow.Graph, *engine.CollectSink) {
-			return workload.Build(workload.Config{
-				SourceParallelism: 2,
-				AggParallelism:    24,
-				MaxKeyGroups:      256,
-				Keys:              10000,
-				RatePerSec:        2000, // ×2 sources = 4K tps
-				Skew:              0.8,
-				StateBytesPerKey:  768,
-				// Mean utilization 0.32–0.6 across the 1.3×/0.7× tiers at 24
-				// instances: the slow tier queues visibly but does not
-				// saturate, so both waves can re-stabilize.
-				CostPerRecord: 2500 * simtime.Microsecond,
-				Duration:      shapeHorizon,
-				Seed:          seed,
-			})
-		},
+		Name:    "hetero-tiers",
+		Job:     job,
+		Traffic: traffic,
 		ScaleOp: "agg",
 		Waves: []Wave{
 			{NewParallelism: 32},

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"drrs/internal/scaling"
+	"drrs/internal/workload"
+)
+
+func drrsFactory() scaling.Mechanism { return Mechanisms("drrs") }
+
+// TestRecordReplayDigestIdentity is the acceptance check behind
+// drrs-bench -record/-replay: a recorded run, its unrecorded twin, and the
+// replay of its trace all produce the same OutcomeDigest — recording is
+// transparent and replay is bit-exact.
+func TestRecordReplayDigestIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full flash-crowd simulations")
+	}
+	plain := OutcomeDigest(ScenarioByName("flash-crowd", 11).RunWith(drrsFactory))
+
+	out, trace := ScenarioByName("flash-crowd", 11).RecordWith(drrsFactory)
+	if got := OutcomeDigest(out); got != plain {
+		t.Fatalf("recording perturbed the run: digest 0x%016x, plain 0x%016x", got, plain)
+	}
+	if trace.Events() == 0 {
+		t.Fatal("recorded trace is empty")
+	}
+
+	// Round-trip through the file codec like the CLI does.
+	path := filepath.Join(t.TempDir(), "fc.trace")
+	if err := trace.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := workload.ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ScenarioByName("flash-crowd", 11)
+	sc.Traffic = workload.Replay(back)
+	if got := OutcomeDigest(sc.RunWith(drrsFactory)); got != plain {
+		t.Fatalf("replay diverged: digest 0x%016x, plain 0x%016x", got, plain)
+	}
+}
+
+// TestReplayOverrideRejectsCustomGenerator: -replay cannot feed scenarios
+// whose traffic is a custom generator closure; the failure must name the
+// problem instead of silently ignoring the trace.
+func TestReplayOverrideRejectsCustomGenerator(t *testing.T) {
+	defer SetTrafficOverride("")
+	path := filepath.Join(t.TempDir(), "tiny.trace")
+	tr := workload.Synthesize(workload.Live(workload.Spec{
+		Cohorts:  []workload.Cohort{workload.DefaultCohort()},
+		Duration: 1000,
+	}), 1)
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	SetTrafficOverride(path)
+	sc := ScenarioByName("twitch", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("custom-generator scenario accepted a replay override")
+		}
+	}()
+	sc.buildGraph()
+}
+
+// TestTrafficOverrideRejectsBadFiles: missing and corrupt traces fail at
+// install time, before any simulation runs.
+func TestTrafficOverrideRejectsBadFiles(t *testing.T) {
+	defer SetTrafficOverride("")
+	for name, path := range map[string]string{
+		"missing": filepath.Join(t.TempDir(), "nope.trace"),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s trace accepted", name)
+				}
+			}()
+			SetTrafficOverride(path)
+		}()
+	}
+}
+
+// TestRecordWithRejectsCustomGenerator: only custom-job scenarios have a
+// replayable arrival stream to record.
+func TestRecordWithRejectsCustomGenerator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RecordWith accepted a custom-generator scenario")
+		}
+	}()
+	ScenarioByName("twitch", 1).RecordWith(drrsFactory)
+}
+
+// TestDefinitionsTrafficSummary: every registered scenario renders a traffic
+// one-liner for drrs-bench -list, either declared or derived.
+func TestDefinitionsTrafficSummary(t *testing.T) {
+	for _, def := range Definitions() {
+		if def.TrafficSummary() == "" {
+			t.Errorf("scenario %s has no traffic summary", def.Name)
+		}
+	}
+}
+
+// TestMillionUsersSpecShape pins the scenario's structural promises: ≥1000
+// cohorts, all four arrival processes present, over a million simulated
+// clients, and a deterministic spec for a fixed seed.
+func TestMillionUsersSpecShape(t *testing.T) {
+	spec := MillionUsersSpec(1)
+	if len(spec.Cohorts) < 1000 {
+		t.Fatalf("million-users has %d cohorts, want ≥1000", len(spec.Cohorts))
+	}
+	clients := 0
+	var kinds [4]bool
+	for _, c := range spec.Cohorts {
+		clients += c.Clients
+		kinds[c.Arrival] = true
+	}
+	if clients < 1_000_000 {
+		t.Fatalf("million-users simulates %d clients, want ≥1e6", clients)
+	}
+	for a, seen := range kinds {
+		if !seen {
+			t.Errorf("million-users never uses arrival process %v", workload.Arrival(a))
+		}
+	}
+	a, b := MillionUsersSpec(7), MillionUsersSpec(7)
+	if len(a.Cohorts) != len(b.Cohorts) || a.Cohorts[13].Clients != b.Cohorts[13].Clients {
+		t.Fatal("MillionUsersSpec is not deterministic in the seed")
+	}
+}

@@ -96,6 +96,9 @@ type SourceContext interface {
 	EmitWatermark(wm simtime.Time)
 	// InstanceIndex identifies the parallel source subtask.
 	InstanceIndex() int
+	// Parallelism reports the source operator's instance count, so a driver
+	// can partition a shared workload across subtasks.
+	Parallelism() int
 	// BacklogLen reports records ingested but not yet emitted.
 	BacklogLen() int
 }

@@ -749,6 +749,7 @@ func (c sourceContext) EmitWatermark(wm simtime.Time) {
 	c.in.Wake()
 }
 func (c sourceContext) InstanceIndex() int { return c.in.Index }
+func (c sourceContext) Parallelism() int   { return c.in.Spec.Parallelism }
 func (c sourceContext) BacklogLen() int    { return c.in.backlog.Len() }
 
 func (in *Instance) startSource() {

@@ -1,0 +1,165 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGammaMean checks the Marsaglia–Tsang sampler hits the requested mean
+// across shapes on both sides of the k=1 boost branch.
+func TestGammaMean(t *testing.T) {
+	for _, k := range []float64{0.3, 0.5, 1, 2, 4} {
+		r := NewRNG(11, "gamma")
+		mean := Duration(1000)
+		var sum float64
+		n := 50000
+		for i := 0; i < n; i++ {
+			v := r.Gamma(mean, k)
+			if v < 0 {
+				t.Fatalf("k=%v: negative sample %v", k, v)
+			}
+			sum += float64(v)
+		}
+		got := sum / float64(n)
+		if math.Abs(got-1000) > 60 {
+			t.Errorf("k=%v: gamma mean %v too far from 1000", k, got)
+		}
+	}
+}
+
+// TestGammaShapeControlsBurstiness: smaller shape means higher variance at
+// the same mean (the property cohort specs rely on for bursty sessions).
+func TestGammaShapeControlsBurstiness(t *testing.T) {
+	variance := func(k float64) float64 {
+		r := NewRNG(5, "gammavar")
+		n := 30000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(r.Gamma(1000, k))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / float64(n)
+		return sumSq/float64(n) - m*m
+	}
+	if variance(0.5) <= variance(4) {
+		t.Fatal("gamma k=0.5 should be burstier (higher variance) than k=4")
+	}
+}
+
+// TestWeibullMean checks the inverse-CDF sampler against the requested mean,
+// including the heavy-tailed k<1 regime.
+func TestWeibullMean(t *testing.T) {
+	for _, k := range []float64{0.6, 0.8, 1, 2} {
+		r := NewRNG(13, "weibull")
+		var sum float64
+		n := 50000
+		for i := 0; i < n; i++ {
+			v := r.Weibull(1000, k)
+			if v < 0 {
+				t.Fatalf("k=%v: negative sample %v", k, v)
+			}
+			sum += float64(v)
+		}
+		got := sum / float64(n)
+		// k<1 has heavy tails, so the sample mean converges slowly.
+		tol := 80.0
+		if k < 1 {
+			tol = 160
+		}
+		if math.Abs(got-1000) > tol {
+			t.Errorf("k=%v: weibull mean %v too far from 1000", k, got)
+		}
+	}
+}
+
+// TestWeibullUnitShapeIsExponential: at k=1 the Weibull reduces to the
+// exponential, so its tail mass should match Exp's within sampling noise.
+func TestWeibullUnitShapeIsExponential(t *testing.T) {
+	r := NewRNG(17, "wexp")
+	n := 50000
+	tail := 0
+	for i := 0; i < n; i++ {
+		if r.Weibull(1000, 1) > 2000 {
+			tail++
+		}
+	}
+	// P(X > 2·mean) = e^-2 ≈ 0.135 for the exponential.
+	frac := float64(tail) / float64(n)
+	if math.Abs(frac-math.Exp(-2)) > 0.01 {
+		t.Fatalf("weibull k=1 tail mass %v, want ≈ %v", frac, math.Exp(-2))
+	}
+}
+
+// TestGammaWeibullDeterminism: same (seed, name) streams replay identically —
+// the property every cohort stream depends on.
+func TestGammaWeibullDeterminism(t *testing.T) {
+	a, b := NewRNG(3, "d"), NewRNG(3, "d")
+	for i := 0; i < 200; i++ {
+		if a.Gamma(500, 0.7) != b.Gamma(500, 0.7) {
+			t.Fatal("gamma streams diverged")
+		}
+		if a.Weibull(500, 0.9) != b.Weibull(500, 0.9) {
+			t.Fatal("weibull streams diverged")
+		}
+	}
+}
+
+// TestGammaWeibullRejectBadShape: non-positive shapes are programming errors.
+func TestGammaWeibullRejectBadShape(t *testing.T) {
+	for name, fn := range map[string]func(*RNG){
+		"gamma":   func(r *RNG) { r.Gamma(1000, 0) },
+		"weibull": func(r *RNG) { r.Weibull(1000, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted a non-positive shape", name)
+				}
+			}()
+			fn(NewRNG(1, "bad"))
+		}()
+	}
+}
+
+// TestZipfSharedMatchesOwned: a Zipf built over a precomputed shared CDF
+// table draws the exact sequence of one that built its own table — the
+// invariant that lets thousands of cohorts share a handful of tables.
+func TestZipfSharedMatchesOwned(t *testing.T) {
+	for _, s := range []float64{0, 0.9, 1.5} {
+		own := NewZipf(NewRNG(21, "zs"), 256, s)
+		shared := NewZipfShared(NewRNG(21, "zs"), 256, s, ZipfCDF(256, s))
+		for i := 0; i < 5000; i++ {
+			if a, b := own.Next(), shared.Next(); a != b {
+				t.Fatalf("s=%v: shared-table draw %d diverged: %d vs %d", s, i, a, b)
+			}
+		}
+	}
+}
+
+// TestZipfCDFValidation pins the table contract: nil for the uniform case,
+// panic on a nonsensical size or a mismatched table.
+func TestZipfCDFValidation(t *testing.T) {
+	if ZipfCDF(10, 0) != nil {
+		t.Fatal("s=0 should need no table (uniform)")
+	}
+	if got := len(ZipfCDF(10, 1)); got != 10 {
+		t.Fatalf("table length %d, want 10", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ZipfCDF accepted n=0")
+			}
+		}()
+		ZipfCDF(0, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewZipfShared accepted a mismatched table")
+			}
+		}()
+		NewZipfShared(NewRNG(1, "z"), 10, 1, ZipfCDF(20, 1))
+	}()
+}

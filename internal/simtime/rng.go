@@ -38,35 +38,130 @@ func (r *RNG) Exp(mean Duration) Duration {
 	return Duration(r.ExpFloat64() * float64(mean))
 }
 
+// Gamma returns a gamma-distributed duration with the given mean and shape k
+// (k = 1 is exponential; k < 1 is burstier, k > 1 more regular). Sampling is
+// Marsaglia–Tsang squeeze for k >= 1, boosted by U^(1/k) for k < 1.
+func (r *RNG) Gamma(mean Duration, k float64) Duration {
+	if k <= 0 {
+		panic("simtime: Gamma needs shape k > 0")
+	}
+	shape, boost := k, 1.0
+	if shape < 1 {
+		boost = math.Pow(r.Float64(), 1/shape)
+		shape++
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x || math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			// d*v*boost ~ Gamma(k, 1); scale mean/k makes the mean exact.
+			return Duration(d * v * boost * float64(mean) / k)
+		}
+	}
+}
+
+// Weibull returns a Weibull-distributed duration with the given mean and
+// shape k (k = 1 is exponential; k < 1 heavy-tailed, k > 1 concentrated),
+// sampled by inverse CDF with the scale normalized so the mean is exact.
+func (r *RNG) Weibull(mean Duration, k float64) Duration {
+	if k <= 0 {
+		panic("simtime: Weibull needs shape k > 0")
+	}
+	scale := float64(mean) / math.Gamma(1+1/k)
+	u := 1 - r.Float64() // (0, 1]: keeps Log finite
+	return Duration(scale * math.Pow(-math.Log(u), 1/k))
+}
+
 // Zipf draws integers in [0, n) with Zipf skewness s, matching the paper's
 // workload-skew parameter (s = 0 is uniform; larger s concentrates mass on
 // low ranks). Unlike math/rand's Zipf it accepts any s >= 0 by sampling the
 // generalized harmonic CDF directly.
 type Zipf struct {
-	n    int
-	s    float64
-	cdf  []float64
+	n   int
+	s   float64
+	cdf []float64
+	// jump[b] is the first rank whose CDF reaches b/zipfJumpBuckets, so a
+	// draw only binary-searches the [jump[b], jump[b+1]] sliver of cdf. The
+	// rank found for a given u is identical with or without the accelerator,
+	// so seeded draw sequences are unaffected.
+	jump [zipfJumpBuckets + 1]int32
 	rand *rand.Rand
 }
 
+// zipfJumpBuckets sizes the search accelerator; 256 keeps the per-draw
+// search inside a couple of cache lines even for large key spaces.
+const zipfJumpBuckets = 256
+
 // NewZipf builds a Zipf sampler over [0, n) with skewness s.
 func NewZipf(r *RNG, n int, s float64) *Zipf {
+	return NewZipfShared(r, n, s, ZipfCDF(n, s))
+}
+
+// ZipfCDF precomputes the generalized harmonic CDF over [0, n) with skewness
+// s (nil for s <= 0: uniform sampling needs none). The table depends only on
+// (n, s), so samplers over the same distribution can share one — building it
+// is O(n), which matters when thousands of cohorts reuse a handful of
+// distributions.
+func ZipfCDF(n int, s float64) []float64 {
 	if n <= 0 {
 		panic("simtime: Zipf needs n > 0")
 	}
-	z := &Zipf{n: n, s: s, rand: r.Rand}
+	if s <= 0 {
+		return nil
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return cdf
+}
+
+// NewZipfShared builds a Zipf sampler around a precomputed ZipfCDF(n, s)
+// table. The table is read-only; only the RNG is per-sampler.
+func NewZipfShared(r *RNG, n int, s float64, cdf []float64) *Zipf {
+	if n <= 0 {
+		panic("simtime: Zipf needs n > 0")
+	}
+	if s > 0 && len(cdf) != n {
+		panic("simtime: Zipf CDF table does not match n")
+	}
+	z := &Zipf{n: n, s: s, cdf: cdf, rand: r.Rand}
 	if s > 0 {
-		z.cdf = make([]float64, n)
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			sum += 1 / math.Pow(float64(i+1), s)
-			z.cdf[i] = sum
-		}
-		for i := range z.cdf {
-			z.cdf[i] /= sum
+		for b := 1; b <= zipfJumpBuckets; b++ {
+			z.jump[b] = int32(searchCDF(cdf, float64(b)/zipfJumpBuckets))
 		}
 	}
 	return z
+}
+
+// searchCDF returns the first index whose CDF value reaches u (n-1 when u
+// exceeds every entry, which only floating-point rounding can produce).
+func searchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Next draws one rank in [0, n).
@@ -75,7 +170,8 @@ func (z *Zipf) Next() int {
 		return int(z.rand.Int63n(int64(z.n)))
 	}
 	u := z.rand.Float64()
-	lo, hi := 0, z.n-1
+	b := int(u * zipfJumpBuckets)
+	lo, hi := int(z.jump[b]), int(z.jump[b+1])
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {

@@ -1,0 +1,375 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+
+	"drrs/internal/simtime"
+)
+
+// Arrival identifies a cohort's interarrival process.
+type Arrival uint8
+
+const (
+	// ArrivalPoisson draws exponential interarrivals (memoryless clients).
+	ArrivalPoisson Arrival = iota
+	// ArrivalGamma draws gamma interarrivals with shape Cohort.ArrivalShape
+	// (< 1 burstier than Poisson, > 1 more regular).
+	ArrivalGamma
+	// ArrivalWeibull draws Weibull interarrivals with shape
+	// Cohort.ArrivalShape (< 1 heavy-tailed).
+	ArrivalWeibull
+	// ArrivalConstant ticks at the aggregate period, jittered ±Cohort.Jitter
+	// (0 is a strict metronome).
+	ArrivalConstant
+)
+
+func (a Arrival) String() string {
+	switch a {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalGamma:
+		return "gamma"
+	case ArrivalWeibull:
+		return "weibull"
+	case ArrivalConstant:
+		return "constant"
+	}
+	return fmt.Sprintf("arrival(%d)", uint8(a))
+}
+
+// Cohort is one homogeneous client population inside a Spec: Clients clients
+// emitting RatePerClient records/s each (the cohort aggregates to Clients ×
+// RatePerClient), with its own arrival process, key distribution, and load
+// shape. Each cohort draws from its own named RNG streams, so adding or
+// editing one cohort never perturbs another's stream.
+type Cohort struct {
+	// Name labels the cohort in summaries; optional.
+	Name string
+	// Clients is the client count; the cohort's aggregate rate is
+	// Clients × RatePerClient records/s.
+	Clients       int
+	RatePerClient float64
+	// Arrival picks the interarrival process for the cohort's merged stream.
+	Arrival Arrival
+	// ArrivalShape is the gamma/Weibull shape k (1 ≈ Poisson); ignored by
+	// other processes.
+	ArrivalShape float64
+	// Jitter is ArrivalConstant's ± fraction; 0 is a strict metronome.
+	Jitter float64
+	// Key distribution: either KeySet (fixed keys cycled round-robin) or a
+	// Zipf(Skew) hot set over [KeyBase, KeyBase+KeyCount). Skew 0 is uniform.
+	// Key 0 is reserved by the engine, so KeyBase must be ≥ 1.
+	KeyBase  uint64
+	KeyCount int
+	Skew     float64
+	KeySet   []uint64
+	// Load modulates the cohort's rate over time and drifts its hot set
+	// (shapes are shared with the classic generator); PhaseOffset shifts the
+	// cohort's position in the shape program, staggering diurnal peaks.
+	Load        Shape
+	PhaseOffset simtime.Duration
+	// Size and Value fill the emitted records.
+	Size  int
+	Value float64
+}
+
+// DefaultCohort returns a single Poisson client over the classic key space:
+// 1 client at 1 record/s, uniform over keys [1, 1000], 100-byte records.
+func DefaultCohort() Cohort {
+	return Cohort{
+		Clients:       1,
+		RatePerClient: 1,
+		Arrival:       ArrivalPoisson,
+		ArrivalShape:  1,
+		KeyBase:       1,
+		KeyCount:      1000,
+		Size:          100,
+		Value:         1,
+	}
+}
+
+// Spec is a composable multi-client traffic description: a list of cohorts
+// deterministically merged into one ordered arrival stream. Cohorts are
+// partitioned round-robin across source instances (cohort i feeds instance
+// i mod parallelism).
+type Spec struct {
+	Cohorts []Cohort
+	// Duration bounds the stream; 0 generates forever.
+	Duration simtime.Duration
+	// Seed drives every cohort's named RNG streams.
+	Seed int64
+}
+
+// validate panics on malformed cohorts; Specs are authored by scenario code,
+// so errors are programming mistakes, caught eagerly like JobConfig's.
+func (s Spec) validate() {
+	if len(s.Cohorts) == 0 {
+		panic("workload: Spec needs at least one Cohort")
+	}
+	for i, c := range s.Cohorts {
+		where := func(msg string) string {
+			name := c.Name
+			if name == "" {
+				name = "#" + strconv.Itoa(i)
+			}
+			return "workload: cohort " + name + ": " + msg
+		}
+		if c.Clients <= 0 {
+			panic(where("Clients must be > 0 (use DefaultCohort)"))
+		}
+		if c.RatePerClient <= 0 {
+			panic(where("RatePerClient must be > 0"))
+		}
+		if c.Size <= 0 {
+			panic(where("Size must be > 0"))
+		}
+		switch c.Arrival {
+		case ArrivalGamma, ArrivalWeibull:
+			if c.ArrivalShape <= 0 {
+				panic(where("ArrivalShape must be > 0 for gamma/weibull arrivals"))
+			}
+		case ArrivalConstant:
+			if c.Jitter < 0 || c.Jitter >= 1 {
+				panic(where("Jitter must be in [0, 1)"))
+			}
+		}
+		if len(c.KeySet) > 0 {
+			for _, k := range c.KeySet {
+				if k == 0 {
+					panic(where("KeySet contains key 0 (reserved)"))
+				}
+			}
+			continue
+		}
+		if c.KeyBase < 1 {
+			panic(where("KeyBase must be ≥ 1 (key 0 is reserved)"))
+		}
+		if c.KeyCount <= 0 {
+			panic(where("KeyCount must be > 0"))
+		}
+		if c.Skew < 0 {
+			panic(where("Skew must be ≥ 0"))
+		}
+	}
+}
+
+// Live builds Traffic from a Spec: each source instance k-way-merges its
+// cohorts' arrival streams into one ordered stream. Zipf CDF tables are
+// shared across cohorts with the same (KeyCount, Skew), so thousands of
+// cohorts over a handful of distributions stay cheap to set up. Panics on
+// malformed Specs.
+func Live(spec Spec) Traffic {
+	spec.validate()
+	lt := &liveTraffic{spec: spec, cdfs: make([][]float64, len(spec.Cohorts))}
+	type dist struct {
+		n int
+		s float64
+	}
+	shared := map[dist][]float64{}
+	for i, c := range spec.Cohorts {
+		if len(c.KeySet) > 0 || c.Skew <= 0 {
+			continue
+		}
+		d := dist{n: c.KeyCount, s: c.Skew}
+		cdf, ok := shared[d]
+		if !ok {
+			cdf = simtime.ZipfCDF(d.n, d.s)
+			shared[d] = cdf
+		}
+		lt.cdfs[i] = cdf
+	}
+	return lt
+}
+
+type liveTraffic struct {
+	spec Spec
+	// cdfs[i] is cohort i's shared Zipf CDF table (nil for uniform/KeySet).
+	cdfs [][]float64
+}
+
+func (lt *liveTraffic) Describe() string {
+	clients := 0
+	rate := 0.0
+	var kinds [4]int
+	for _, c := range lt.spec.Cohorts {
+		clients += c.Clients
+		rate += float64(c.Clients) * c.RatePerClient
+		if int(c.Arrival) < len(kinds) {
+			kinds[c.Arrival]++
+		}
+	}
+	mix := ""
+	for a, n := range kinds {
+		if n == 0 {
+			continue
+		}
+		if mix != "" {
+			mix += " "
+		}
+		mix += fmt.Sprintf("%s:%d", Arrival(a), n)
+	}
+	return fmt.Sprintf("%d cohorts, %d clients, ~%.3g rec/s aggregate (%s)",
+		len(lt.spec.Cohorts), clients, rate, mix)
+}
+
+func (lt *liveTraffic) Stream(instance, parallelism int, start simtime.Time) Stream {
+	ms := &mergedStream{deadline: -1}
+	if lt.spec.Duration > 0 {
+		ms.deadline = start.Add(lt.spec.Duration)
+	}
+	for i := range lt.spec.Cohorts {
+		if i%parallelism != instance {
+			continue
+		}
+		ms.states = append(ms.states, newCohortState(&lt.spec.Cohorts[i], lt.cdfs[i], uint32(i), lt.spec.Seed, start))
+	}
+	// states were appended in ascending cohort order with their first arrival
+	// already drawn; establish the heap invariant over (nextAt, cohort).
+	for i := len(ms.states)/2 - 1; i >= 0; i-- {
+		ms.siftDown(i)
+	}
+	return ms
+}
+
+// cohortState is one cohort's position in the merge: its RNG streams, its
+// samplers, and the arrival it will contribute next.
+type cohortState struct {
+	c       *Cohort
+	idx     uint32
+	start   simtime.Time
+	arrival *simtime.RNG
+	keys    *simtime.RNG
+	zipf    *simtime.Zipf
+	baseGap float64 // aggregate interarrival mean at factor 1, in duration units
+	cursor  int     // KeySet round-robin position
+	nextAt  simtime.Time
+}
+
+func newCohortState(c *Cohort, cdf []float64, idx uint32, seed int64, start simtime.Time) *cohortState {
+	name := "workload/cohort/" + strconv.Itoa(int(idx))
+	cs := &cohortState{
+		c:       c,
+		idx:     idx,
+		start:   start,
+		arrival: simtime.NewRNG(seed, name+"/arrival"),
+		keys:    simtime.NewRNG(seed, name+"/keys"),
+		baseGap: float64(simtime.Second) / (float64(c.Clients) * c.RatePerClient),
+	}
+	if len(c.KeySet) == 0 && c.Skew > 0 {
+		cs.zipf = simtime.NewZipfShared(cs.keys, c.KeyCount, c.Skew, cdf)
+	}
+	cs.nextAt = start.Add(cs.gap(start))
+	return cs
+}
+
+// gap draws the next interarrival for the cohort's merged client stream,
+// modulated by the load shape at the draw's position in the run.
+func (cs *cohortState) gap(at simtime.Time) simtime.Duration {
+	el := at.Sub(cs.start) + cs.c.PhaseOffset
+	mean := simtime.Duration(cs.baseGap / cs.c.Load.FactorAt(el))
+	var d simtime.Duration
+	switch cs.c.Arrival {
+	case ArrivalGamma:
+		d = cs.arrival.Gamma(mean, cs.c.ArrivalShape)
+	case ArrivalWeibull:
+		d = cs.arrival.Weibull(mean, cs.c.ArrivalShape)
+	case ArrivalConstant:
+		d = cs.arrival.Jitter(mean, cs.c.Jitter)
+	default:
+		d = cs.arrival.Exp(mean)
+	}
+	if d < 1 {
+		d = 1 // keep time strictly advancing per cohort
+	}
+	return d
+}
+
+// drawKey picks the arrival's key: fixed-set round-robin, or a rank from the
+// cohort's Zipf/uniform distribution mapped through the load shape's hot-key
+// drift into [KeyBase, KeyBase+KeyCount).
+func (cs *cohortState) drawKey(at simtime.Time) uint64 {
+	c := cs.c
+	if len(c.KeySet) > 0 {
+		k := c.KeySet[cs.cursor]
+		cs.cursor++
+		if cs.cursor == len(c.KeySet) {
+			cs.cursor = 0
+		}
+		return k
+	}
+	var rank int
+	if cs.zipf != nil {
+		rank = cs.zipf.Next()
+	} else {
+		rank = int(cs.keys.Int63n(int64(c.KeyCount)))
+	}
+	el := at.Sub(cs.start) + c.PhaseOffset
+	return c.KeyBase + uint64(c.Load.MapRank(rank, el, c.KeyCount))
+}
+
+// mergedStream k-way-merges its cohorts by (nextAt, cohort index) — the
+// index breaks ties deterministically — and clamps the whole stream at the
+// Spec deadline with a single Stop event.
+type mergedStream struct {
+	states   []*cohortState
+	deadline simtime.Time
+	done     bool
+}
+
+func (ms *mergedStream) Next(ev *Event) bool {
+	if ms.done {
+		return false
+	}
+	if len(ms.states) == 0 || (ms.deadline >= 0 && ms.states[0].nextAt >= ms.deadline) {
+		// No cohorts on this instance, or every remaining arrival lands past
+		// the deadline: the stream ends. Unbounded cohortless streams end
+		// silently; bounded ones stop at the deadline so the source still
+		// emits its final watermark.
+		ms.done = true
+		if ms.deadline < 0 {
+			return false
+		}
+		*ev = Event{At: ms.deadline, Stop: true}
+		return true
+	}
+	cs := ms.states[0]
+	at := cs.nextAt
+	*ev = Event{
+		At:     at,
+		Key:    cs.drawKey(at),
+		Size:   cs.c.Size,
+		Value:  cs.c.Value,
+		Cohort: cs.idx,
+	}
+	cs.nextAt = at.Add(cs.gap(at))
+	ms.siftDown(0)
+	return true
+}
+
+// less orders the heap by (nextAt, cohort index).
+func (ms *mergedStream) less(a, b *cohortState) bool {
+	if a.nextAt != b.nextAt {
+		return a.nextAt < b.nextAt
+	}
+	return a.idx < b.idx
+}
+
+func (ms *mergedStream) siftDown(i int) {
+	n := len(ms.states)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && ms.less(ms.states[l], ms.states[min]) {
+			min = l
+		}
+		if r < n && ms.less(ms.states[r], ms.states[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		ms.states[i], ms.states[min] = ms.states[min], ms.states[i]
+		i = min
+	}
+}

@@ -3,6 +3,19 @@
 // per-key state size, and Zipf workload skewness. The paper uses it for the
 // cluster sensitivity analysis (Fig 15) because the dominant scaling overhead
 // involves only the scaling operator and its predecessors.
+//
+// The API separates what runs from what arrives:
+//
+//   - JobConfig fixes the topology side — parallelism, key groups, state
+//     size, processing cost, watermark cadence.
+//   - Traffic produces the arrival stream — Classic (the original
+//     single-generator Zipf load), Live (multi-client cohort Specs), or
+//     Replay (a recorded Trace).
+//   - BuildJob(job, traffic) assembles the graph.
+//
+// Config predates the split and remains as a compatibility veneer: Build(cfg)
+// is exactly BuildJob(cfg.Split()) and produces a byte-identical event
+// stream.
 package workload
 
 import (
@@ -11,7 +24,73 @@ import (
 	"drrs/internal/simtime"
 )
 
-// Config parameterizes the custom job.
+// JobConfig parameterizes the custom job's topology: everything about the
+// pipeline that is independent of the arrival stream. Unlike the legacy
+// Config it performs no zero-value defaulting — every field is used verbatim,
+// so explicit zeros (a free aggregator, stateless keys) are expressible.
+// Start from DefaultJob and override.
+type JobConfig struct {
+	// SourceParallelism and AggParallelism set initial parallelism.
+	SourceParallelism int
+	AggParallelism    int
+	// MaxKeyGroups is the aggregator's key-group count (paper: 128 single
+	// machine, 256 cluster).
+	MaxKeyGroups int
+	// StateBytesPerKey sets per-key state size (total state ≈ keys × this).
+	// Zero is honoured: a stateless aggregator.
+	StateBytesPerKey int
+	// CostPerRecord is the aggregator's processing cost. Zero is honoured: a
+	// free aggregator.
+	CostPerRecord simtime.Duration
+	// WatermarkEvery sets the watermark cadence.
+	WatermarkEvery simtime.Duration
+	// EmitUpdates forwards every aggregation update to the sink (needed by
+	// correctness tests; benchmarks can disable it to cut message volume).
+	EmitUpdates bool
+}
+
+// DefaultJob returns the job topology the legacy Config defaulted to: 1
+// source, 4 aggregators over 128 key groups, 1 KiB per key, 100 µs per
+// record, 100 ms watermarks.
+func DefaultJob() JobConfig {
+	return JobConfig{
+		SourceParallelism: 1,
+		AggParallelism:    4,
+		MaxKeyGroups:      128,
+		StateBytesPerKey:  1024,
+		CostPerRecord:     100 * simtime.Microsecond,
+		WatermarkEvery:    simtime.Ms(100),
+	}
+}
+
+// validate panics on structurally impossible jobs. Zeros that are meaningful
+// (cost, state size) pass; zeros that would wedge the engine do not.
+func (j JobConfig) validate() {
+	if j.SourceParallelism <= 0 {
+		panic("workload: JobConfig.SourceParallelism must be > 0 (use DefaultJob)")
+	}
+	if j.AggParallelism <= 0 {
+		panic("workload: JobConfig.AggParallelism must be > 0 (use DefaultJob)")
+	}
+	if j.MaxKeyGroups <= 0 {
+		panic("workload: JobConfig.MaxKeyGroups must be > 0 (use DefaultJob)")
+	}
+	if j.WatermarkEvery <= 0 {
+		panic("workload: JobConfig.WatermarkEvery must be > 0 (use DefaultJob)")
+	}
+	if j.StateBytesPerKey < 0 || j.CostPerRecord < 0 {
+		panic("workload: JobConfig state size and record cost cannot be negative")
+	}
+}
+
+// Config parameterizes the custom job through the pre-split API. It is a thin
+// veneer over (JobConfig, Traffic): Build(cfg) == BuildJob(cfg.Split()).
+//
+// Sentinel semantics: a zero in any field below means "use the default", so
+// explicit zeros are unexpressible here — Config{RatePerSec: 0} is 1000
+// records/s, not silence, and Config{CostPerRecord: 0} costs 100 µs. Callers
+// that need a true zero (or traffic beyond one Zipf generator) use JobConfig
+// + Traffic directly.
 type Config struct {
 	// SourceParallelism and AggParallelism set initial parallelism.
 	SourceParallelism int
@@ -70,28 +149,56 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Build constructs the job graph and returns it with the sink logic for
-// inspection. Operators are named "gen", "agg", "sink".
+// Split converts the veneer into the post-redesign form: the fully-defaulted
+// JobConfig plus the Classic traffic generator. The traffic produced is
+// byte-identical to what the pre-split Build emitted.
+func (c Config) Split() (JobConfig, Traffic) {
+	c.fillDefaults()
+	job := JobConfig{
+		SourceParallelism: c.SourceParallelism,
+		AggParallelism:    c.AggParallelism,
+		MaxKeyGroups:      c.MaxKeyGroups,
+		StateBytesPerKey:  c.StateBytesPerKey,
+		CostPerRecord:     c.CostPerRecord,
+		WatermarkEvery:    c.WatermarkEvery,
+		EmitUpdates:       c.EmitUpdates,
+	}
+	return job, Classic(c)
+}
+
+// Build constructs the job graph from the legacy Config and returns it with
+// the sink logic for inspection. Operators are named "gen", "agg", "sink".
 func Build(cfg Config) (*dataflow.Graph, *engine.CollectSink) {
-	cfg.fillDefaults()
+	job, traffic := cfg.Split()
+	return BuildJob(job, traffic)
+}
+
+// BuildJob constructs the job graph from a topology and an arrival stream and
+// returns it with the sink logic for inspection. Operators are named "gen",
+// "agg", "sink". Panics on structurally invalid jobs (see JobConfig).
+func BuildJob(job JobConfig, traffic Traffic) (*dataflow.Graph, *engine.CollectSink) {
+	job.validate()
+	if traffic == nil {
+		panic("workload: BuildJob needs a Traffic (Classic, Live, or Replay)")
+	}
 	sink := engine.NewCollectSink()
 	g := dataflow.NewGraph()
 	g.AddOperator(&dataflow.OperatorSpec{
 		Name:        "gen",
-		Parallelism: cfg.SourceParallelism,
-		Source:      generator(cfg),
+		Parallelism: job.SourceParallelism,
+		Source:      driveSource(job, traffic),
 	})
 	g.AddOperator(&dataflow.OperatorSpec{
 		Name:          "agg",
-		Parallelism:   cfg.AggParallelism,
+		Parallelism:   job.AggParallelism,
 		KeyedInput:    true,
-		MaxKeyGroups:  cfg.MaxKeyGroups,
-		CostPerRecord: cfg.CostPerRecord,
+		MaxKeyGroups:  job.MaxKeyGroups,
+		CostPerRecord: job.CostPerRecord,
 		CostJitter:    0.1,
 		NewLogic: func() dataflow.Logic {
 			return &engine.KeyedReduceLogic{
-				StateBytes:  cfg.StateBytesPerKey,
-				EmitUpdates: cfg.EmitUpdates,
+				StateBytes:  job.StateBytesPerKey,
+				EmitUpdates: job.EmitUpdates,
 			}
 		},
 	})
@@ -103,101 +210,4 @@ func Build(cfg Config) (*dataflow.Graph, *engine.CollectSink) {
 	g.Connect("gen", "agg", dataflow.ExchangeKeyed)
 	g.Connect("agg", "sink", dataflow.ExchangeRebalance)
 	return g, sink
-}
-
-// genBatch is how many emissions the generator precomputes per scheduling
-// batch: large enough to amortize the batch refill and keep the RNG/shape
-// math out of the per-wake path, small enough that a mid-run rate change
-// (shapes are pure functions of arrival time, so precomputation is exact)
-// costs no extra memory to speak of.
-const genBatch = 256
-
-// genEvent is one precomputed source emission.
-type genEvent struct {
-	at  simtime.Time
-	key uint64
-	// wm emits a watermark right after the record (the record's arrival
-	// crossed the watermark cadence).
-	wm bool
-	// stop marks the deadline tick: emit a final watermark and quit.
-	stop bool
-}
-
-// generator emits Zipf-keyed records at the shape-modulated rate with
-// periodic watermarks.
-//
-// Instead of one timer callback per record, it precomputes the arrival
-// times, keys, and watermark crossings of the next genBatch records up
-// front — drawing the RNG in exactly the per-tick order (zipf rank, then
-// period jitter) of the timer-per-record loop it replaces, so the event
-// stream is byte-identical — and re-arms a single pump across the batch.
-// Each pump firing hands the due record straight to the source's backlog
-// drain (dataflow.SourcePump), so the instance emits whole inbox batches
-// without a zero-delay wake event per record.
-func generator(cfg Config) dataflow.SourceFunc {
-	return func(ctx dataflow.SourceContext) {
-		rng := simtime.NewRNG(cfg.Seed, "workload/gen")
-		zipf := simtime.NewZipf(simtime.NewRNG(cfg.Seed, "workload/zipf"), cfg.Keys, cfg.Skew)
-		start := ctx.Now()
-		deadline := simtime.Time(-1)
-		if cfg.Duration > 0 {
-			deadline = start.Add(cfg.Duration)
-		}
-		var nextWM simtime.Time
-
-		events := make([]genEvent, 0, genBatch)
-		next := 0
-		var tailAt simtime.Time // where the batch after this one starts
-		fill := func(t simtime.Time) {
-			events = events[:0]
-			next = 0
-			for len(events) < genBatch {
-				if deadline >= 0 && t >= deadline {
-					events = append(events, genEvent{at: t, stop: true})
-					return
-				}
-				el := t.Sub(start)
-				// Key 0 is reserved; ranks shift by 1.
-				ev := genEvent{at: t, key: uint64(cfg.Shape.MapRank(zipf.Next(), el, cfg.Keys)) + 1}
-				if t >= nextWM {
-					ev.wm = true
-					nextWM = t.Add(cfg.WatermarkEvery)
-				}
-				events = append(events, ev)
-				period := simtime.Duration(float64(simtime.Second) / (cfg.RatePerSec * cfg.Shape.FactorAt(el)))
-				t = t.Add(rng.Jitter(period, 0.05))
-			}
-			tailAt = t
-		}
-
-		ingest := ctx.Ingest
-		if p, ok := ctx.(dataflow.SourcePump); ok {
-			ingest = p.IngestNow
-		}
-		var pump func()
-		pump = func() {
-			now := ctx.Now()
-			ev := events[next]
-			next++
-			if ev.stop {
-				ctx.EmitWatermark(now)
-				return
-			}
-			r := ctx.NewRecord()
-			r.Key = ev.key
-			r.EventTime = now
-			r.Size = 100
-			r.Value = 1.0
-			ingest(r)
-			if ev.wm {
-				ctx.EmitWatermark(now)
-			}
-			if next == len(events) {
-				fill(tailAt)
-			}
-			ctx.After(events[next].at.Sub(now), pump)
-		}
-		fill(start)
-		pump()
-	}
 }
