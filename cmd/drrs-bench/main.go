@@ -19,6 +19,7 @@
 //	drrs-bench -experiment fig15 -parallel 1 -cpuprofile cpu.out -memprofile mem.out
 //	drrs-bench -record mu.trace -workload million-users -seed 1
 //	drrs-bench -replay mu.trace -workload million-users -seed 1
+//	drrs-bench -chaos 8 -workload node-loss-mid-migrate,straggler-rack,flaky-uplink -json chaos.json
 //
 // Experiments: fig2, fig10 (also emits Figs 11–13 from the same runs),
 // fig14, fig15, multiwave, sweep, topology (rack-local vs spread placement),
@@ -31,6 +32,13 @@
 // control policy decides); -faults forces every run's fault plan (a fault
 // spec like "crash@12s:node=r0n1,restart=6s;ckpt=2s", or "off" to disable
 // the chaos scenarios' own plans).
+//
+// -chaos N is the deterministic chaos search: N seeds (from -seed) ×
+// scenarios (-workload, default the chaos trio) × mechanisms (-mechanisms)
+// with randomized generated fault plans, every oracle checked on every run,
+// each case executed twice for the determinism oracle, and any failing plan
+// shrunk to a minimal self-reproducing spec string. Exits 1 when violations
+// are found; -json writes them as a machine-readable artifact.
 //
 // -record runs one scenario once while capturing the arrival stream its
 // sources consume, writes it to a versioned trace file, and prints the run's
@@ -63,6 +71,7 @@ import (
 
 	"drrs/internal/bench"
 	"drrs/internal/bench/cliopts"
+	"drrs/internal/chaos"
 	"drrs/internal/scaling"
 )
 
@@ -114,6 +123,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write every figure's structured rows as machine-readable JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
+	chaosN := flag.Int("chaos", 0, "run the deterministic chaos search over N seeds starting at -seed (0 disables)")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
@@ -141,6 +151,10 @@ func main() {
 	case "fig2", "fig10", "fig14", "fig15", "multiwave", "sweep", "topology", "control", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if *chaosN < 0 {
+		fmt.Fprintf(os.Stderr, "drrs-bench: -chaos must be >= 0 (got %d)\n", *chaosN)
 		os.Exit(2)
 	}
 	if *workloadName != "all" && len(splitList(*workloadName)) == 0 {
@@ -187,6 +201,13 @@ func main() {
 	if opts.Record != "" || (opts.Replay != "" && !flagWasSet("experiment")) {
 		runTrace(&opts, *workloadName, mechList, *baseSeed)
 		return
+	}
+
+	// Chaos mode branches before profiling setup, like trace mode: it owns
+	// its exit code (1 = violations found, 2 = usage error) and its own -json
+	// artifact shape.
+	if *chaosN > 0 {
+		os.Exit(runChaos(*chaosN, *workloadName, mechList, *baseSeed, *parallel, *jsonOut))
 	}
 
 	// Profiling setup runs after every usage-error exit above, and once it
@@ -386,6 +407,102 @@ func ablation(seed int64) bench.FigureResult {
 	b = append(b, bench.FormatSweep("DRRS node concurrency (sensitivity cluster)", bench.SweepNodeConcurrency(seed, []int{1, 2, 4})))
 	b = append(b, bench.FormatSweep("Megaphone batch size (Twitch)", bench.SweepMegaphoneBatch(seed, []int{1, 4, 16, 111})))
 	return bench.FigureResult{Title: "ablation", Text: strings.Join(b, "\n")}
+}
+
+// chaosJSON is the -chaos -json artifact: the search bounds plus every
+// violation with its self-reproducing spec and repro command line.
+type chaosJSON struct {
+	GeneratedAt string           `json:"generated_at"`
+	Scenarios   []string         `json:"scenarios"`
+	Mechanisms  []string         `json:"mechanisms"`
+	Seeds       []int64          `json:"seeds"`
+	Cases       int              `json:"cases"`
+	Runs        int              `json:"runs"`
+	WallMS      float64          `json:"wall_ms"`
+	Violations  []chaosViolation `json:"violations"`
+}
+
+// chaosViolation is one oracle failure in the artifact.
+type chaosViolation struct {
+	Scenario   string `json:"scenario"`
+	Mechanism  string `json:"mechanism"`
+	Seed       int64  `json:"seed"`
+	Oracle     string `json:"oracle"`
+	Detail     string `json:"detail"`
+	Spec       string `json:"spec"`
+	Shrunk     bool   `json:"shrunk"`
+	ShrinkRuns int    `json:"shrink_runs,omitempty"`
+	Repro      string `json:"repro"`
+}
+
+// runChaos is the -chaos N mode: generated fault plans over N seeds ×
+// scenarios × mechanisms, every oracle on every run, shrinking armed.
+// Returns the process exit code: 0 clean, 1 violations found, 2 usage error.
+func runChaos(n int, workloadName string, mechList []string, baseSeed int64, workers int, jsonOut string) (code int) {
+	defer func() {
+		// Unknown scenario names surface as panics from the registry; report
+		// them as usage errors rather than worker stack traces.
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "drrs-bench: %v\n", r)
+			code = 2
+		}
+	}()
+	cfg := chaos.Config{Mechanisms: mechList, Workers: workers, Shrink: true}
+	if workloadName != "all" {
+		cfg.Scenarios = splitList(workloadName)
+	}
+	for i := 0; i < n; i++ {
+		cfg.Seeds = append(cfg.Seeds, baseSeed+int64(i))
+	}
+	t0 := time.Now() //lint:allow nowallclock bench-runner wall budget: measures host time around a finished search
+	res := chaos.Search(cfg)
+	wall := time.Since(t0) //lint:allow nowallclock bench-runner wall budget: measures host time around a finished search
+	fmt.Printf("chaos search: %d cases (%d runs) over seeds %d..%d, wall %v\n",
+		res.Cases, res.Runs, baseSeed, baseSeed+int64(n)-1, wall.Round(time.Millisecond))
+	if len(res.Violations) == 0 {
+		fmt.Println("no oracle violations")
+	}
+	for i, v := range res.Violations {
+		fmt.Printf("violation %d [%s/%s seed=%d] %s: %s\n",
+			i+1, v.Scenario, v.Mechanism, v.Seed, v.Oracle, v.Detail)
+		if v.Shrunk {
+			fmt.Printf("  shrunk to %d fault(s) in %d runs\n", len(v.Plan.Faults), v.ShrinkRuns)
+		}
+		fmt.Printf("  repro: %s\n", v.Repro())
+	}
+	if jsonOut != "" {
+		rec := chaosJSON{
+			//lint:allow nowallclock report metadata timestamp; never enters the simulation
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Scenarios:   res.Scenarios,
+			Mechanisms:  res.Mechanisms,
+			Seeds:       cfg.Seeds,
+			Cases:       res.Cases,
+			Runs:        res.Runs,
+			WallMS:      float64(wall.Microseconds()) / 1000,
+			Violations:  []chaosViolation{},
+		}
+		for _, v := range res.Violations {
+			rec.Violations = append(rec.Violations, chaosViolation{
+				Scenario: v.Scenario, Mechanism: v.Mechanism, Seed: v.Seed,
+				Oracle: v.Oracle, Detail: v.Detail, Spec: v.Spec,
+				Shrunk: v.Shrunk, ShrinkRuns: v.ShrinkRuns, Repro: v.Repro(),
+			})
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drrs-bench: writing chaos JSON: %v\n", err)
+			return 1
+		}
+		fmt.Printf("chaos record written to %s\n", jsonOut)
+	}
+	if len(res.Violations) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // flagWasSet reports whether the named flag appeared on the command line

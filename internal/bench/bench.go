@@ -81,6 +81,12 @@ type Scenario struct {
 	// no injector, no checkpointer, byte-identical to pre-fault builds).
 	// SetFaultsOverride (drrs-bench -faults) replaces it for the run.
 	Faults *faults.Plan
+	// Inspect, when set, runs against the still-live runtime after the
+	// outcome is sealed but before RunWith returns — the chaos oracles'
+	// window onto end-of-run engine state (per-instance stores, routing
+	// tables, sink contents) that the Outcome alone doesn't carry. It must
+	// only read; nil on every registered scenario, so digests are untouched.
+	Inspect func(*engine.Runtime, *Outcome)
 	// Seed drives the run.
 	Seed int64
 }
@@ -295,6 +301,9 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 			last := &out.Waves[len(out.Waves)-1]
 			out.StabilizedAt, out.Stabilized = last.StabilizedAt, last.Stabilized
 		}
+	}
+	if sc.Inspect != nil {
+		sc.Inspect(rt, &out)
 	}
 	return out
 }

@@ -31,18 +31,33 @@ type FaultSummary struct {
 	LostGroups      int
 	ReplayedRecords uint64
 	RecoveryMs      float64
+	// RetriedTransfers counts transfer re-attempts under the plan's retry
+	// policy (folds into the digest only when nonzero, so pre-retry chaos
+	// digests stay byte-identical).
+	RetriedTransfers int
 	// RecordsLost counts data records dropped at dead instances (in-flight at
 	// the crash, or stranded at a destination whose state chunk reverted).
 	RecordsLost uint64
+	// WipedGroups / RelocatedGroups complete the crash-wipe identity
+	// (Wiped == Recovered + Lost + Relocated) the chaos conservation oracle
+	// checks. Deliberately NOT folded into OutcomeDigest: they are derived
+	// from the already-folded recovery flow, and folding them would break
+	// every pinned chaos digest.
+	WipedGroups     int
+	RelocatedGroups int
 	// Replans counts controller decisions marked Recovery: involuntary
 	// supersessions re-planning an in-flight operation around a disruption.
 	Replans int
 }
 
 func (f *FaultSummary) String() string {
-	return fmt.Sprintf("faults=%d crashes=%d failedXfers=%d recovered=%d lost=%d replans=%d recordsLost=%d replayed=%d recovery=%.0fms",
+	s := fmt.Sprintf("faults=%d crashes=%d failedXfers=%d recovered=%d lost=%d replans=%d recordsLost=%d replayed=%d recovery=%.0fms",
 		f.Events, f.Crashes, f.FailedTransfers, f.RecoveredGroups, f.LostGroups,
 		f.Replans, f.RecordsLost, f.ReplayedRecords, f.RecoveryMs)
+	if f.RetriedTransfers > 0 {
+		s += fmt.Sprintf(" retries=%d", f.RetriedTransfers)
+	}
+	return s
 }
 
 // faultSummary assembles the Outcome's fault block (nil without an injector).
@@ -52,14 +67,17 @@ func faultSummary(inj *faults.Injector, rt *engine.Runtime, decisions []control.
 	}
 	st := inj.Stats()
 	fs := &FaultSummary{
-		Events:          st.Events,
-		Crashes:         st.Crashes,
-		FailedTransfers: st.FailedTransfers,
-		RecoveredGroups: st.RecoveredGroups,
-		LostGroups:      st.LostGroups,
-		ReplayedRecords: st.ReplayedRecords,
-		RecoveryMs:      st.RecoveryMs,
-		RecordsLost:     rt.LostRecords(),
+		Events:           st.Events,
+		Crashes:          st.Crashes,
+		FailedTransfers:  st.FailedTransfers,
+		RecoveredGroups:  st.RecoveredGroups,
+		LostGroups:       st.LostGroups,
+		ReplayedRecords:  st.ReplayedRecords,
+		RecoveryMs:       st.RecoveryMs,
+		RetriedTransfers: st.RetriedTransfers,
+		RecordsLost:      rt.LostRecords(),
+		WipedGroups:      st.WipedGroups,
+		RelocatedGroups:  st.RelocatedGroups,
 	}
 	for _, d := range decisions {
 		if d.Recovery {
@@ -117,6 +135,10 @@ func init() {
 		Description: "spread scale-out over a rack uplink that degrades, partitions, then heals mid-migration",
 		Layout:      "4 racks × 4 nodes; r1 uplink 4MB/s→256KB/s at 11s, partitioned 13–18s, healed 21s",
 		New:         FlakyUplinkScenario})
+	Register(Definition{Name: "flaky-uplink-retry",
+		Description: "flaky-uplink with transfer retry armed and the controller in degraded mode: transient failures back off and re-send instead of settling",
+		Layout:      "4 racks × 4 nodes; r1 partitioned 11–14s; retries ×4 (500ms..4s backoff), degraded debounce 4s",
+		New:         FlakyUplinkRetryScenario})
 }
 
 // chaosScenario is the shared substrate: the custom job under a 1.5× flash
@@ -199,4 +221,27 @@ func FlakyUplinkScenario(seed int64) Scenario {
 			{Kind: faults.Uplink, At: simtime.Sec(13), Rack: "r1", Bandwidth: 0, Heal: simtime.Sec(5)},
 		},
 	}, seed)
+}
+
+// FlakyUplinkRetryScenario is the graceful-degradation counterpart of
+// flaky-uplink: r1's uplink partitions outright at 10.3s — right before the
+// flash-crowd scale-out launches its cross-rack chunk transfers — but the
+// plan arms the cluster's transfer retry (×4, 500ms..4s backoff), so chunks
+// that would have failed and settled back to their sources instead back off
+// deterministically and land once the partition heals at 13.3s. The driver's
+// degraded mode widens the controller's debounce to 4s after the disruption,
+// holding further voluntary rescaling while the cluster is unstable. Pinned
+// by golden digests across two seeds.
+func FlakyUplinkRetryScenario(seed int64) Scenario {
+	sc := chaosScenario("flaky-uplink-retry", "spread", &faults.Plan{
+		TransferRetries: 4,
+		RetryBase:       500 * simtime.Millisecond,
+		RetryCap:        4 * simtime.Second,
+		Faults: []faults.Fault{
+			{Kind: faults.Uplink, At: simtime.Ms(10300), Rack: "r1", Bandwidth: 0, Heal: simtime.Sec(3)},
+		},
+	}, seed)
+	sc.Driver = &ControllerDriver{Policy: "backlog", Min: 4, Max: 16,
+		DegradedDebounce: 4 * simtime.Second}
+	return sc
 }

@@ -66,6 +66,7 @@ func ControlFigure(workloadName string, mechs []string, seeds []int64) FigureRes
 				OpsTotal:         opsAll,
 				FinalParallelism: finalP,
 			},
+			Faults: faultStats(outs[mech]),
 		}
 		rows[mech] = r
 		fmt.Fprintf(&b, "%-12s %18s %18s %12s %12s %10s %10s %9d/%d %8s\n",

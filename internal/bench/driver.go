@@ -168,6 +168,11 @@ type ControllerDriver struct {
 	Cadence  simtime.Duration
 	Debounce simtime.Duration
 	Window   simtime.Duration
+	// DegradedDebounce / DegradedWindow arm the controller's degraded mode:
+	// voluntary decisions space out to the wider debounce for DegradedWindow
+	// after each cluster disruption. Zero keeps degraded mode off.
+	DegradedDebounce simtime.Duration
+	DegradedWindow   simtime.Duration
 	// Min and Max bound the reachable parallelism. Zero defaults to
 	// [max(2, P/2), 2×P] around the operator's initial parallelism.
 	Min, Max int
@@ -209,6 +214,8 @@ func (d *ControllerDriver) Drive(r *Run) {
 		Cadence:            d.Cadence,
 		Window:             d.Window,
 		Debounce:           d.Debounce,
+		DegradedDebounce:   d.DegradedDebounce,
+		DegradedWindow:     d.DegradedWindow,
 		HoldOff:            simtime.Time(sc.Warmup),
 		Stop:               r.Horizon,
 		Min:                min,

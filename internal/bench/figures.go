@@ -79,6 +79,10 @@ type Row struct {
 	// Control carries the reactive-driving columns; nil outside the control
 	// figure (and omitted from -json output there).
 	Control *ControlStats `json:",omitempty"`
+	// Faults carries the fault-and-recovery columns; nil when no aggregated
+	// run was faulted (and omitted from -json output there), so healthy
+	// sweeps serialize exactly as before the chaos track.
+	Faults *FaultStats `json:",omitempty"`
 }
 
 // ControlStats are one mechanism's closed-loop headline numbers: how the
@@ -94,6 +98,60 @@ type ControlStats struct {
 	// (key 0 = the policy never decided; the operator kept its initial
 	// parallelism).
 	FinalParallelism map[int]int
+}
+
+// FaultStats aggregates the per-run FaultSummary across seeds — the
+// machine-readable face of the chaos track (drrs-bench -json), where the
+// summary previously surfaced only in -list text.
+type FaultStats struct {
+	// Events / Crashes / FailedTransfers / RetriedTransfers / RecoveredGroups
+	// / LostGroups / Replans / RecordsLost / RecoveryMs aggregate the
+	// FaultSummary fields of the same names across the mechanism's runs.
+	Events           Stat
+	Crashes          Stat
+	FailedTransfers  Stat
+	RetriedTransfers Stat
+	RecoveredGroups  Stat
+	LostGroups       Stat
+	Replans          Stat
+	RecordsLost      Stat
+	RecoveryMs       Stat
+}
+
+// faultStats aggregates runs' fault summaries; nil when none was faulted.
+func faultStats(runs []Outcome) *FaultStats {
+	var events, crashes, failed, retried, recovered, lost, replans, records, recovery []float64
+	any := false
+	for _, o := range runs {
+		f := o.Faults
+		if f == nil {
+			continue
+		}
+		any = true
+		events = append(events, float64(f.Events))
+		crashes = append(crashes, float64(f.Crashes))
+		failed = append(failed, float64(f.FailedTransfers))
+		retried = append(retried, float64(f.RetriedTransfers))
+		recovered = append(recovered, float64(f.RecoveredGroups))
+		lost = append(lost, float64(f.LostGroups))
+		replans = append(replans, float64(f.Replans))
+		records = append(records, float64(f.RecordsLost))
+		recovery = append(recovery, f.RecoveryMs)
+	}
+	if !any {
+		return nil
+	}
+	return &FaultStats{
+		Events:           NewStat(events),
+		Crashes:          NewStat(crashes),
+		FailedTransfers:  NewStat(failed),
+		RetriedTransfers: NewStat(retried),
+		RecoveredGroups:  NewStat(recovered),
+		LostGroups:       NewStat(lost),
+		Replans:          NewStat(replans),
+		RecordsLost:      NewStat(records),
+		RecoveryMs:       NewStat(recovery),
+	}
 }
 
 // measureWindow computes the common statistics window the paper uses: from
@@ -167,6 +225,7 @@ func rowsFrom(outs map[string][]Outcome) map[string]Row {
 			PropDelayMs:   NewStat(prop),
 			DepOverheadMs: NewStat(dep),
 			SuspensionMs:  NewStat(susp),
+			Faults:        faultStats(runs),
 		}
 	}
 	return rows
@@ -419,6 +478,7 @@ func Sweep(scenarioNames []string, mechs []string, seeds []int64) FigureResult {
 				AvgMs:        NewStat(avg),
 				ScalingSec:   NewStat(dur),
 				SuspensionMs: NewStat(susp),
+				Faults:       faultStats(runs),
 			}
 			rows[scn+"/"+mech] = r
 			fmt.Fprintf(&b, "%-16s %-12s %16s %16s %16s %16s %4d/%d\n",

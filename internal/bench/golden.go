@@ -86,6 +86,13 @@ func OutcomeDigest(o Outcome) uint64 {
 		h.u64(f.RecordsLost)
 		h.u64(f.ReplayedRecords)
 		h.f64(f.RecoveryMs)
+		// Tagged and conditional for the same reason the whole block is:
+		// retry landed after the first six chaos digests were pinned, and
+		// only retry-armed runs may fold it.
+		if f.RetriedTransfers > 0 {
+			h.str("retries")
+			h.i64(int64(f.RetriedTransfers))
+		}
 		for _, d := range o.Decisions {
 			h.b(d.Recovery)
 		}

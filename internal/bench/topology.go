@@ -274,6 +274,7 @@ func TopologyFigure(workloadName string, mechs []string, seeds []int64) FigureRe
 				ScalingSec:   NewStat(dur),
 				MigrationSec: NewStat(mig),
 				PeakMs:       NewStat(peak),
+				Faults:       faultStats(runs),
 			}
 			rows[mech+"@"+p] = r
 			fmt.Fprintf(&b, "%-12s %-12s %16s %16s %14.2f %14.2f %16s\n",

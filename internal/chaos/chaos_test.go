@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"drrs/internal/faults"
+	"drrs/internal/simtime"
+)
+
+// crashHeavyGen aims the fuzzer at the operator's home rack (the node-loss
+// scenario packs the job onto r0), so generated crashes reliably hit nodes
+// that hold keyed state. An untargeted search still works — it just spends
+// most of its faults on empty nodes.
+func crashHeavyGen() *faults.GenConfig {
+	return &faults.GenConfig{
+		Nodes:       []string{"r0n0", "r0n1", "r0n2", "r0n3"},
+		MinFaults:   4,
+		MaxFaults:   6,
+		CrashWeight: 3, StraggleWeight: 1, UplinkWeight: 1,
+	}
+}
+
+// TestSearchCleanAtHead: the CI-shaped search — generated fault plans over
+// the chaos trio, every mechanism, each case run twice — finds no oracle
+// violations at HEAD. This is the baseline the broken-build test below is
+// measured against.
+func TestSearchCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos search simulates minutes of virtual time")
+	}
+	res := Search(Config{Seeds: []int64{1, 2}})
+	if res.Cases != 18 || res.Runs != 36 {
+		t.Fatalf("cases=%d runs=%d, want 18/36 (trio × 3 mechanisms × 2 seeds × pair)", res.Cases, res.Runs)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("[%s/%s seed=%d] %s: %s\n  repro: %s",
+			v.Scenario, v.Mechanism, v.Seed, v.Oracle, v.Detail, v.Repro())
+	}
+}
+
+// TestSearchTargetedCleanAtHead raises the bar: crash-heavy plans aimed at
+// the state-holding rack, across all three mechanisms. Recovery, transfer
+// retry, re-planning, and the accounting counters all get exercised hard —
+// and must stay violation-free.
+func TestSearchTargetedCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos search simulates minutes of virtual time")
+	}
+	res := Search(Config{
+		Scenarios: []string{"node-loss-mid-migrate"},
+		Seeds:     []int64{1, 2, 3},
+		Gen:       crashHeavyGen(),
+	})
+	for _, v := range res.Violations {
+		t.Errorf("[%s/%s seed=%d] %s: %s\n  repro: %s",
+			v.Scenario, v.Mechanism, v.Seed, v.Oracle, v.Detail, v.Repro())
+	}
+}
+
+// TestBrokenRecoveryCaughtAndShrunk is the harness-of-the-harness acceptance
+// test: with the recovery re-plan disabled behind the test hook, the search
+// must catch the regression on every seed, shrink a failing plan to at most
+// three faults, and the shrunk spec string must reproduce the violation from
+// its seed alone (replayed through faults.ParseSpec, exactly as a developer
+// pasting the repro line would).
+func TestBrokenRecoveryCaughtAndShrunk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos search simulates minutes of virtual time")
+	}
+	prev := faults.SetDisableRecovery(true)
+	defer faults.SetDisableRecovery(prev)
+	seeds := []int64{1, 2, 3}
+	res := Search(Config{
+		Scenarios:  []string{"node-loss-mid-migrate"},
+		Mechanisms: []string{"drrs"},
+		Seeds:      seeds,
+		Gen:        crashHeavyGen(),
+		Shrink:     true,
+	})
+	bySeed := map[int64]int{}
+	for _, v := range res.Violations {
+		bySeed[v.Seed]++
+	}
+	for _, s := range seeds {
+		if bySeed[s] == 0 {
+			t.Errorf("seed %d: broken recovery not caught", s)
+		}
+	}
+	var shrunk *Violation
+	for i := range res.Violations {
+		v := &res.Violations[i]
+		if !v.Shrunk {
+			continue
+		}
+		if len(v.Plan.Faults) > 3 {
+			t.Errorf("seed %d: shrunk plan still has %d faults (%s)", v.Seed, len(v.Plan.Faults), v.Spec)
+		}
+		if v.ShrinkRuns <= 0 {
+			t.Errorf("seed %d: shrunk without spending runs", v.Seed)
+		}
+		if shrunk == nil {
+			shrunk = v
+		}
+	}
+	if shrunk == nil {
+		t.Fatal("no violation was shrunk")
+	}
+	// The repro line names the exact flags; the spec string must parse and
+	// reproduce the same oracle violation.
+	if !strings.Contains(shrunk.Repro(), shrunk.Spec) {
+		t.Fatalf("repro %q does not carry the spec", shrunk.Repro())
+	}
+	p, err := faults.ParseSpec(shrunk.Spec)
+	if err != nil {
+		t.Fatalf("shrunk spec %q does not parse: %v", shrunk.Spec, err)
+	}
+	fs := execCase(shrunk.Scenario, shrunk.Mechanism, shrunk.Seed, *p,
+		shrunk.Oracle == OracleDeterminism, 0)
+	if !hasOracle(fs, shrunk.Oracle) {
+		t.Fatalf("replaying %q at seed %d did not reproduce the %s violation (got %v)",
+			shrunk.Spec, shrunk.Seed, shrunk.Oracle, fs)
+	}
+	t.Logf("shrunk to %d fault(s) in %d runs: %s", len(shrunk.Plan.Faults), shrunk.ShrinkRuns, shrunk.Repro())
+}
+
+// TestSearchRequiresSeeds pins the no-silent-default contract.
+func TestSearchRequiresSeeds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Search without seeds must panic")
+		}
+	}()
+	Search(Config{})
+}
+
+// BenchmarkChaosPlanOverhead measures the per-run bookkeeping the chaos mode
+// adds on top of the simulation itself: drawing the plan from the seed,
+// cloning it for the run pair, and rendering + re-parsing the repro spec.
+// Gated in CI via benchgate so the search stays generation-bound on the
+// simulator, not on its own scaffolding.
+func BenchmarkChaosPlanOverhead(b *testing.B) {
+	cfg := faults.GenConfig{
+		Nodes:   []string{"r0n0", "r0n1", "r0n2", "r0n3"},
+		Racks:   []string{"r0", "r1", "r2", "r3"},
+		Retries: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan := faults.Generate(simtime.NewRNG(int64(i), "chaos/bench"), cfg)
+		pair := [2]*faults.Plan{clonePlan(plan), clonePlan(plan)}
+		spec := plan.Spec()
+		if _, err := faults.ParseSpec(spec); err != nil {
+			b.Fatal(err)
+		}
+		_ = pair
+	}
+}

@@ -20,15 +20,64 @@ import (
 )
 
 // Transfer failure causes, wrapped into the error a failed transfer reports.
+// IsTransient classifies them for retry and settle paths.
 var (
-	// ErrNodeDead means an endpoint's node is marked dead.
-	ErrNodeDead = errors.New("node dead")
+	// ErrInstanceDead means an endpoint instance's node is marked dead. A
+	// crash-with-restart clears it, so it classifies as transient.
+	ErrInstanceDead = errors.New("instance node dead")
 	// ErrNodeMissing means an endpoint's node has been removed from the
-	// cluster (its placement dangles).
+	// cluster (its placement dangles). Removal is permanent: fatal.
 	ErrNodeMissing = errors.New("node missing")
-	// ErrRackDown means the transfer path crosses a partitioned rack uplink.
-	ErrRackDown = errors.New("rack uplink down")
+	// ErrPartitioned means the transfer path crosses a partitioned rack
+	// uplink. Partitions heal, so it classifies as transient.
+	ErrPartitioned = errors.New("rack uplink down")
 )
+
+// IsTransient classifies a transfer error: true when a healed cluster clears
+// the cause (a partitioned uplink, a dead-but-restartable node), false when
+// no amount of waiting can (the node was removed from the cluster). Works
+// through wrapped errors, so settle paths can classify the error their fail
+// callback received directly.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrInstanceDead) || errors.Is(err, ErrPartitioned)
+}
+
+// RetryPolicy retries transient transfer failures with deterministic capped
+// exponential backoff: attempt n re-launches Backoff(n) after the failure is
+// detected, where Backoff doubles from Base up to Cap. The zero value
+// disables retry entirely — transfers fail on first detection, preserving
+// every pre-retry digest — so the policy is safe to install unconditionally.
+type RetryPolicy struct {
+	// Max is the number of re-attempts per transfer (0 disables retry).
+	Max int
+	// Base is the first backoff delay (default 250ms when Max > 0).
+	Base simtime.Duration
+	// Cap bounds the exponential growth (default 2s when Max > 0).
+	Cap simtime.Duration
+}
+
+// Enabled reports whether the policy retries at all.
+func (p RetryPolicy) Enabled() bool { return p.Max > 0 }
+
+// Backoff returns the delay before re-attempt number attempt+1 (attempt
+// counts completed attempts, starting at 0): Base<<attempt, capped at Cap.
+func (p RetryPolicy) Backoff(attempt int) simtime.Duration {
+	base, ceil := p.Base, p.Cap
+	if base <= 0 {
+		base = 250 * simtime.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 2 * simtime.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
+}
 
 // Node is one simulated worker machine.
 type Node struct {
@@ -103,6 +152,14 @@ type Cluster struct {
 	// OnTransferFail, when set, observes every failed transfer (fault
 	// accounting). It runs before the transfer's own fail callback.
 	OnTransferFail func(from, to netsim.Endpoint, bytes int, err error)
+	// TransferRetry, when armed (Max > 0), re-attempts transient transfer
+	// failures with capped exponential backoff before reporting them. The
+	// zero value keeps the historical fail-on-first-detection behavior.
+	TransferRetry RetryPolicy
+	// OnTransferRetry, when set, observes every scheduled re-attempt
+	// (attempt numbers the re-attempt, starting at 1). It fires at the
+	// instant the failure was detected, before the backoff elapses.
+	OnTransferRetry func(from, to netsim.Endpoint, bytes int, err error, attempt int)
 }
 
 // New returns a cluster with a single infinite-bandwidth node "local", which
@@ -248,21 +305,31 @@ func (c *Cluster) Transfer(from, to netsim.Endpoint, bytes int, done func()) {
 // done/fail fires, at the instant the transfer would have completed (failures
 // are detected when the bytes arrive, not for free at launch — except a dead
 // source, which cannot even start and fails immediately).
+//
+// When TransferRetry is armed, a transiently failed transfer re-launches from
+// scratch after the policy's backoff — re-resolving both endpoints and
+// re-paying bandwidth for the re-sent bytes — until it succeeds, fails
+// fatally, or exhausts the retry budget. done/fail still fire exactly once.
 func (c *Cluster) TransferChecked(from, to netsim.Endpoint, bytes int, done func(), fail func(error)) {
+	c.attemptTransfer(from, to, bytes, 0, done, fail)
+}
+
+// attemptTransfer launches attempt number attempt (0-based) of a transfer.
+func (c *Cluster) attemptTransfer(from, to netsim.Endpoint, bytes, attempt int, done func(), fail func(error)) {
 	src := c.NodeOf(from)
 	if src == nil {
-		c.failTransfer(c.sched.Now(), from, to, bytes, ErrNodeMissing, fail)
+		c.failTransfer(c.sched.Now(), from, to, bytes, attempt, ErrNodeMissing, done, fail)
 		return
 	}
 	if src.Dead {
-		c.failTransfer(c.sched.Now(), from, to, bytes, ErrNodeDead, fail)
+		c.failTransfer(c.sched.Now(), from, to, bytes, attempt, ErrInstanceDead, done, fail)
 		return
 	}
 	dst := c.NodeOf(to)
 	src.TransferredBytes += int64(bytes)
 	ready := src.reserve(c.sched.Now(), bytes)
 	if src == dst {
-		c.sched.At(ready, func() { c.deliver(from, to, bytes, done, fail) })
+		c.sched.At(ready, func() { c.deliver(from, to, bytes, attempt, done, fail) })
 		return
 	}
 	lat := c.TransferLatency
@@ -270,7 +337,7 @@ func (c *Cluster) TransferChecked(from, to netsim.Endpoint, bytes int, done func
 		if sr.Down || dr.Down {
 			// The path is partitioned: the transfer times out after the base
 			// hop latency without ever occupying the uplink.
-			c.failTransfer(ready.Add(lat), from, to, bytes, ErrRackDown, fail)
+			c.failTransfer(ready.Add(lat), from, to, bytes, attempt, ErrPartitioned, done, fail)
 			return
 		}
 		ready = sr.reserveUplink(ready, bytes)
@@ -278,7 +345,7 @@ func (c *Cluster) TransferChecked(from, to netsim.Endpoint, bytes int, done func
 		dr.InBytes += int64(bytes)
 		lat += sr.UplinkLatency + dr.UplinkLatency
 	}
-	c.sched.At(ready.Add(lat), func() { c.deliver(from, to, bytes, done, fail) })
+	c.sched.At(ready.Add(lat), func() { c.deliver(from, to, bytes, attempt, done, fail) })
 }
 
 // rackPath returns the source and destination racks when the transfer crosses
@@ -297,21 +364,37 @@ func (c *Cluster) rackPath(src, dst *Node) (*Rack, *Rack) {
 
 // deliver lands the bytes at the destination, re-resolving its node at
 // delivery time.
-func (c *Cluster) deliver(from, to netsim.Endpoint, bytes int, done func(), fail func(error)) {
+func (c *Cluster) deliver(from, to netsim.Endpoint, bytes, attempt int, done func(), fail func(error)) {
 	dst := c.NodeOf(to)
 	switch {
 	case dst == nil:
-		c.noteFail(from, to, bytes, ErrNodeMissing, fail)
+		c.concludeFail(from, to, bytes, attempt, ErrNodeMissing, done, fail)
 	case dst.Dead:
-		c.noteFail(from, to, bytes, ErrNodeDead, fail)
+		c.concludeFail(from, to, bytes, attempt, ErrInstanceDead, done, fail)
 	case done != nil:
 		done()
 	}
 }
 
-// failTransfer schedules the failure notification for at.
-func (c *Cluster) failTransfer(at simtime.Time, from, to netsim.Endpoint, bytes int, cause error, fail func(error)) {
-	c.sched.At(at, func() { c.noteFail(from, to, bytes, cause, fail) })
+// failTransfer schedules the failure's conclusion (retry or report) for at.
+func (c *Cluster) failTransfer(at simtime.Time, from, to netsim.Endpoint, bytes, attempt int, cause error, done func(), fail func(error)) {
+	c.sched.At(at, func() { c.concludeFail(from, to, bytes, attempt, cause, done, fail) })
+}
+
+// concludeFail runs at the instant a failed attempt was detected: under an
+// armed retry policy a transient cause with budget left re-launches the whole
+// attempt after the backoff; everything else reports the failure.
+func (c *Cluster) concludeFail(from, to netsim.Endpoint, bytes, attempt int, cause error, done func(), fail func(error)) {
+	if p := c.TransferRetry; p.Enabled() && attempt < p.Max && IsTransient(cause) {
+		if c.OnTransferRetry != nil {
+			c.OnTransferRetry(from, to, bytes, cause, attempt+1)
+		}
+		c.sched.After(p.Backoff(attempt), func() {
+			c.attemptTransfer(from, to, bytes, attempt+1, done, fail)
+		})
+		return
+	}
+	c.noteFail(from, to, bytes, cause, fail)
 }
 
 func (c *Cluster) noteFail(from, to netsim.Endpoint, bytes int, cause error, fail func(error)) {

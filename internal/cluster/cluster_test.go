@@ -244,8 +244,8 @@ func TestTransferToDeadNodeFails(t *testing.T) {
 	if done {
 		t.Fatal("transfer to a dead node must not complete")
 	}
-	if failErr == nil || !errors.Is(failErr, ErrNodeDead) {
-		t.Fatalf("want ErrNodeDead, got %v", failErr)
+	if failErr == nil || !errors.Is(failErr, ErrInstanceDead) {
+		t.Fatalf("want ErrInstanceDead, got %v", failErr)
 	}
 	want := simtime.Time(simtime.Ms(500)).Add(c.TransferLatency)
 	if failedAt != want {
@@ -271,8 +271,8 @@ func TestTransferFromDeadNodeFailsImmediately(t *testing.T) {
 		}
 	})
 	s.Run()
-	if failErr == nil || !errors.Is(failErr, ErrNodeDead) {
-		t.Fatalf("want ErrNodeDead, got %v", failErr)
+	if failErr == nil || !errors.Is(failErr, ErrInstanceDead) {
+		t.Fatalf("want ErrInstanceDead, got %v", failErr)
 	}
 	if n.TransferredBytes != 0 {
 		t.Fatalf("dead source accounted %d transferred bytes", n.TransferredBytes)
@@ -354,8 +354,8 @@ func TestTransferAcrossDownRackFails(t *testing.T) {
 		failErr = err
 	})
 	s.Run()
-	if failErr == nil || !errors.Is(failErr, ErrRackDown) {
-		t.Fatalf("want ErrRackDown, got %v", failErr)
+	if failErr == nil || !errors.Is(failErr, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", failErr)
 	}
 	if c.Rack("r0").OutBytes != 0 {
 		t.Fatalf("partitioned transfer accounted %d uplink bytes", c.Rack("r0").OutBytes)

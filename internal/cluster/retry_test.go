@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"drrs/internal/netsim"
+	"drrs/internal/simtime"
+)
+
+func TestIsTransientClassification(t *testing.T) {
+	if !IsTransient(ErrInstanceDead) || !IsTransient(ErrPartitioned) {
+		t.Fatal("dead-node and partition failures are transient (heal/restart clears them)")
+	}
+	if IsTransient(ErrNodeMissing) {
+		t.Fatal("a removed node never comes back — not transient")
+	}
+	if IsTransient(nil) || IsTransient(errors.New("other")) {
+		t.Fatal("unknown errors must not classify as transient")
+	}
+	// Classification must see through the wrapping noteFail applies.
+	wrapped := fmt.Errorf("cluster: transfer a/0→b/0 (500 B): %w", ErrPartitioned)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient cause lost its classification")
+	}
+}
+
+func TestRetryBackoffShape(t *testing.T) {
+	p := RetryPolicy{Max: 5, Base: 100 * simtime.Millisecond, Cap: 500 * simtime.Millisecond}
+	want := []simtime.Duration{
+		100 * simtime.Millisecond, // attempt 0
+		200 * simtime.Millisecond,
+		400 * simtime.Millisecond,
+		500 * simtime.Millisecond, // capped
+		500 * simtime.Millisecond, // stays capped
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Zero Base/Cap fall back to the documented defaults.
+	d := RetryPolicy{Max: 1}
+	if d.Backoff(0) != 250*simtime.Millisecond || d.Backoff(10) != 2*simtime.Second {
+		t.Fatalf("default backoff %v / %v", d.Backoff(0), d.Backoff(10))
+	}
+	if (RetryPolicy{}).Enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+}
+
+// TestTransferRetrySucceedsAfterHeal: a transfer into a partitioned rack
+// backs off deterministically and lands once the uplink heals — the done
+// callback fires exactly once and the retry observer sees every re-attempt.
+func TestTransferRetrySucceedsAfterHeal(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddRack("r0", 1<<20, 0)
+	c.AddRack("r1", 1<<20, 0)
+	c.AddNode("n0", 1, 1<<20).Rack = "r0"
+	c.AddNode("n1", 1, 1<<20).Rack = "r1"
+	c.Place(ep("a", 0), "n0")
+	c.Place(ep("b", 0), "n1")
+	c.TransferRetry = RetryPolicy{Max: 4, Base: 250 * simtime.Millisecond, Cap: simtime.Second}
+	retries := 0
+	c.OnTransferRetry = func(_, _ netsim.Endpoint, _ int, _ error, attempt int) {
+		retries = attempt
+	}
+	c.Rack("r1").Down = true
+	s.After(600*simtime.Millisecond, func() { c.Rack("r1").Down = false })
+	dones, fails := 0, 0
+	var doneAt simtime.Time
+	c.TransferChecked(ep("a", 0), ep("b", 0), 1000, func() {
+		dones++
+		doneAt = s.Now()
+	}, func(error) { fails++ })
+	s.Run()
+	if dones != 1 || fails != 0 {
+		t.Fatalf("done=%d fail=%d, want exactly one done", dones, fails)
+	}
+	if retries == 0 {
+		t.Fatal("retry observer never fired")
+	}
+	if doneAt == 0 {
+		t.Fatal("no completion time recorded")
+	}
+}
+
+// TestTransferRetryExhaustsBudget: a partition that never heals burns the
+// whole budget, then fails once with the transient cause preserved.
+func TestTransferRetryExhaustsBudget(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddRack("r0", 1<<20, 0)
+	c.AddRack("r1", 1<<20, 0)
+	c.AddNode("n0", 1, 1<<20).Rack = "r0"
+	c.AddNode("n1", 1, 1<<20).Rack = "r1"
+	c.Place(ep("a", 0), "n0")
+	c.Place(ep("b", 0), "n1")
+	c.TransferRetry = RetryPolicy{Max: 3, Base: 100 * simtime.Millisecond, Cap: 200 * simtime.Millisecond}
+	c.Rack("r1").Down = true
+	retries := 0
+	c.OnTransferRetry = func(_, _ netsim.Endpoint, _ int, _ error, attempt int) { retries = attempt }
+	dones, fails := 0, 0
+	var failErr error
+	c.TransferChecked(ep("a", 0), ep("b", 0), 1000, func() { dones++ }, func(err error) {
+		fails++
+		failErr = err
+	})
+	s.Run()
+	if dones != 0 || fails != 1 {
+		t.Fatalf("done=%d fail=%d, want exactly one failure", dones, fails)
+	}
+	if retries != 3 {
+		t.Fatalf("%d re-attempts, want the full budget of 3", retries)
+	}
+	if !errors.Is(failErr, ErrPartitioned) || !IsTransient(failErr) {
+		t.Fatalf("exhausted failure lost its cause: %v", failErr)
+	}
+}
+
+// TestTransferRetrySkipsFatal: a missing destination node is fatal — no
+// backoff, the failure reports immediately even with retry armed.
+func TestTransferRetrySkipsFatal(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("n0", 1, 1<<20)
+	c.AddNode("gone", 1, 1<<20)
+	c.Place(ep("a", 0), "n0")
+	c.Place(ep("b", 0), "gone")
+	c.RemoveNode("gone")
+	c.TransferRetry = RetryPolicy{Max: 5}
+	retried := false
+	c.OnTransferRetry = func(_, _ netsim.Endpoint, _ int, _ error, _ int) { retried = true }
+	var failErr error
+	c.TransferChecked(ep("a", 0), ep("b", 0), 1000, nil, func(err error) { failErr = err })
+	s.Run()
+	if retried {
+		t.Fatal("fatal cause must not consume retry budget")
+	}
+	if !errors.Is(failErr, ErrNodeMissing) {
+		t.Fatalf("want ErrNodeMissing, got %v", failErr)
+	}
+}
+
+// TestTransferRetryDisabledIsFailFast: the zero policy preserves the
+// historical semantics — first detection reports the failure.
+func TestTransferRetryDisabledIsFailFast(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := New(s)
+	c.AddNode("n0", 1, 1<<20)
+	c.AddNode("n1", 1, 1<<20)
+	c.Place(ep("a", 0), "n0")
+	c.Place(ep("b", 0), "n1")
+	c.MarkDead("n1")
+	fails := 0
+	c.TransferChecked(ep("a", 0), ep("b", 0), 1000, nil, func(error) { fails++ })
+	s.Run()
+	if fails != 1 {
+		t.Fatalf("fail fired %d times, want 1", fails)
+	}
+}

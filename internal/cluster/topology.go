@@ -19,7 +19,7 @@ type Rack struct {
 	// UplinkLatency is the extra one-way latency of the rack's uplink hop.
 	UplinkLatency simtime.Duration
 	// Down partitions the rack: cross-rack transfers into or out of it fail
-	// with ErrRackDown until it is cleared. A zeroed UplinkBandwidth cannot
+	// with ErrPartitioned until it is cleared. A zeroed UplinkBandwidth cannot
 	// model this — the bandwidth pools treat <= 0 as infinite.
 	Down bool
 

@@ -40,6 +40,16 @@ type Config struct {
 	// Debounce is the minimum spacing between accepted decisions
 	// (default 2 s) — the oscillation guard.
 	Debounce simtime.Duration
+	// DegradedDebounce, when larger than Debounce, replaces it while the
+	// cluster is degraded: for DegradedWindow after each Health disruption,
+	// voluntary decisions space out to this wider guard so the controller
+	// stops chasing a cluster that is still being faulted. Recovery
+	// supersessions are unaffected — they already bypass the debounce.
+	// Zero disables degraded mode (the historical behavior).
+	DegradedDebounce simtime.Duration
+	// DegradedWindow is how long after the latest disruption the degraded
+	// debounce applies (default 2×DegradedDebounce).
+	DegradedWindow simtime.Duration
 	// Min and Max bound the reachable parallelism.
 	Min, Max int
 	// Setup is the plan's physical deployment delay.
@@ -64,6 +74,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Debounce == 0 {
 		c.Debounce = 2 * simtime.Second
+	}
+	if c.DegradedDebounce > 0 && c.DegradedWindow == 0 {
+		c.DegradedWindow = 2 * c.DegradedDebounce
 	}
 	if c.Min <= 0 {
 		c.Min = 1
@@ -124,6 +137,10 @@ type Controller struct {
 	lastAct    simtime.Time
 	acted      bool
 	lastHealth int // last disruption count seen from cfg.Health
+	// lastDisrupt/disrupted track when the latest disruption landed, for the
+	// degraded-mode debounce widening.
+	lastDisrupt simtime.Time
+	disrupted   bool
 }
 
 // New builds a controller. Call Start before running the scheduler.
@@ -200,6 +217,7 @@ func (c *Controller) checkHealth(now simtime.Time) {
 		return
 	}
 	c.lastHealth = h
+	c.lastDisrupt, c.disrupted = now, true
 	if c.cur == nil || c.pending >= 0 {
 		// Nothing in flight to rescue, or a replacement is already queued —
 		// its launch re-plans from the actual placement anyway.
@@ -253,7 +271,13 @@ func (c *Controller) consider(now simtime.Time, acts []Action) {
 		if to == c.target() {
 			continue
 		}
-		if c.acted && now.Sub(c.lastAct) < c.cfg.Debounce {
+		deb := c.cfg.Debounce
+		if c.cfg.DegradedDebounce > deb && c.disrupted && now.Sub(c.lastDisrupt) < c.cfg.DegradedWindow {
+			// Degraded mode: the cluster was disrupted recently enough that
+			// another fault is plausible; hold voluntary rescaling longer.
+			deb = c.cfg.DegradedDebounce
+		}
+		if c.acted && now.Sub(c.lastAct) < deb {
 			return
 		}
 		c.lastAct, c.acted = now, true

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"drrs/internal/cluster"
 	"drrs/internal/dataflow"
 	"drrs/internal/engine"
 	"drrs/internal/netsim"
@@ -560,12 +561,17 @@ func (m *Mechanism) startMigration(s *subscale, src int) {
 				m.checkSubscale(s)
 				step(i + 1)
 			})
-		}, func(error) {
+		}, func(err error) {
 			// Destination unreachable: the chunk returns to its source, the
 			// predecessors' routing reverts, and the group is surrendered to a
 			// superseding recovery plan (PlanFromPlacement sees it where it
 			// actually is). Records already routed toward the dead destination
 			// are dropped by the keyed-state backstop and counted lost.
+			if cluster.IsTransient(err) {
+				m.rt.Scale.AddCounter("drrs_reverts_transient", 1)
+			} else {
+				m.rt.Scale.AddCounter("drrs_reverts_fatal", 1)
+			}
 			from.Store().OwnGroup(kg)
 			from.Store().InstallGroup(kg, g)
 			delete(m.migratedOut, kg)
@@ -575,6 +581,17 @@ func (m *Mechanism) startMigration(s *subscale, src int) {
 			}
 			s.chunksLeft--
 			from.Wake()
+			// Rerouted records for kg may already be parked at the live
+			// destination, suspension-blocked on the chunk that will now never
+			// arrive — and the rerouted confirm queued behind them. The revert
+			// made them processable; a suspended destination never re-evaluates
+			// without a wake, so without one the confirm never drains and the
+			// operation wedges. Only a suspended instance needs it: waking
+			// unconditionally would insert a scheduler event into runs that
+			// were never stuck.
+			if to.Suspended() && !to.Dead() {
+				to.Wake()
+			}
 			m.checkSubscale(s)
 			step(i + 1)
 		})

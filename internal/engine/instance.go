@@ -109,6 +109,10 @@ type Instance struct {
 
 	// Processed counts data records handled by this instance.
 	Processed uint64
+	// lost counts data records destroyed at this instance by faults — the
+	// per-instance share of the runtime's LostRecords total, which chaos
+	// oracles use to localize record-accounting violations.
+	lost uint64
 }
 
 func (rt *Runtime) newInstance(spec *dataflow.OperatorSpec, idx int) *Instance {
@@ -328,13 +332,13 @@ func (in *Instance) processDone() {
 		switch msg := m.(type) {
 		case *netsim.Record:
 			if !msg.Marker {
-				in.rt.noteLostRecords(1)
+				in.noteLost(1)
 			}
 			in.rt.recPool.Put(msg)
 		case *netsim.Rerouted:
 			if inner, ok := msg.Inner.(*netsim.Record); ok {
 				if !inner.Marker {
-					in.rt.noteLostRecords(1)
+					in.noteLost(1)
 				}
 				in.rt.recPool.Put(inner)
 			} else {
@@ -349,6 +353,17 @@ func (in *Instance) processDone() {
 	in.Wake()
 }
 
+// noteLost records n data records destroyed by a fault at this instance,
+// keeping the per-instance and runtime-wide tallies in lockstep.
+func (in *Instance) noteLost(n uint64) {
+	in.lost += n
+	in.rt.noteLostRecords(n)
+}
+
+// LostRecords reports how many data records faults destroyed at this
+// instance (mid-service at a crash, or stranded after a routing repair).
+func (in *Instance) LostRecords() uint64 { return in.lost }
+
 // Fail kills the instance in place (its node crashed): processing freezes,
 // keyed state is wiped, and input edges keep queueing — peers back-pressure
 // against the corpse instead of observing a vanished endpoint, which is what
@@ -357,6 +372,13 @@ func (in *Instance) processDone() {
 func (in *Instance) Fail() []int {
 	in.dead = true
 	in.Halted = true
+	// Alignment state is volatile: a crashed process forgets which barrier
+	// epochs it was collecting, and the in-flight barriers died with it. Keep
+	// the input channels admissible, or the revived instance deadlocks
+	// waiting on markers that can never arrive (its inboxes fill, upstream
+	// backpressures, and the records are neither delivered nor counted lost).
+	clear(in.blockedEdges)
+	clear(in.aligners)
 	lost := in.store.Groups()
 	for _, kg := range lost {
 		in.store.ExtractGroup(kg)
@@ -434,7 +456,7 @@ func (in *Instance) ApplyRecord(r *netsim.Record) {
 		// the rewound checkpoint; the simulator drops it and counts the loss.
 		// Unreachable on a healthy run — every mechanism lands state before
 		// its records become processable.
-		in.rt.noteLostRecords(1)
+		in.noteLost(1)
 		in.rt.recPool.Put(r)
 		return
 	}

@@ -23,8 +23,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"drrs/internal/cluster"
 	"drrs/internal/engine"
 	"drrs/internal/netsim"
 	"drrs/internal/simtime"
@@ -75,7 +77,16 @@ type Plan struct {
 	// RecoveryDelay is how long crashed instances stay down before the
 	// recovery path revives them (default 1s) — detection plus restart cost.
 	RecoveryDelay simtime.Duration
-	Faults        []Fault
+	// TransferRetries, when positive, arms the cluster's transfer retry
+	// policy: transient transfer failures (partitioned uplink, restartable
+	// crash) re-attempt up to this many times with capped exponential
+	// backoff. Zero keeps the historical fail-fast behavior.
+	TransferRetries int
+	// RetryBase and RetryCap shape the backoff (defaults 250ms and 2s; only
+	// meaningful when TransferRetries > 0).
+	RetryBase simtime.Duration
+	RetryCap  simtime.Duration
+	Faults    []Fault
 }
 
 func (p *Plan) fillDefaults() {
@@ -84,6 +95,14 @@ func (p *Plan) fillDefaults() {
 	}
 	if p.RecoveryDelay <= 0 {
 		p.RecoveryDelay = simtime.Second
+	}
+	if p.TransferRetries > 0 {
+		if p.RetryBase <= 0 {
+			p.RetryBase = 250 * simtime.Millisecond
+		}
+		if p.RetryCap <= 0 {
+			p.RetryCap = 2 * simtime.Second
+		}
 	}
 }
 
@@ -118,6 +137,67 @@ func (p *Plan) Summary() string {
 	return strings.Join(parts, "; ")
 }
 
+// Spec renders the plan in the exact grammar ParseSpec reads, knobs first,
+// so any plan — generated ones included — round-trips through a -faults flag
+// value. A shrunk chaos repro is reported this way: the spec string plus the
+// scenario seed fully determine the failing run.
+func (p *Plan) Spec() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.CheckpointEvery > 0 {
+		parts = append(parts, "ckpt="+fmtDur(p.CheckpointEvery))
+	}
+	if p.RecoveryDelay > 0 {
+		parts = append(parts, "recovery="+fmtDur(p.RecoveryDelay))
+	}
+	if p.TransferRetries > 0 {
+		parts = append(parts, fmt.Sprintf("retry=%d", p.TransferRetries))
+		if p.RetryBase > 0 {
+			parts = append(parts, "retrybase="+fmtDur(p.RetryBase))
+		}
+		if p.RetryCap > 0 {
+			parts = append(parts, "retrycap="+fmtDur(p.RetryCap))
+		}
+	}
+	for _, f := range p.Faults {
+		s := fmt.Sprintf("%s@%s", f.Kind, fmtDur(f.At))
+		var args []string
+		if f.Node != "" {
+			args = append(args, "node="+f.Node)
+		}
+		if f.Rack != "" {
+			args = append(args, "rack="+f.Rack)
+		}
+		if f.Kind == Straggle {
+			args = append(args, fmt.Sprintf("factor=%g", f.Factor))
+		}
+		if f.Kind == Uplink {
+			args = append(args, fmt.Sprintf("bw=%g", f.Bandwidth))
+		}
+		if f.Restart > 0 {
+			args = append(args, "restart="+fmtDur(f.Restart))
+		}
+		if f.Heal > 0 {
+			args = append(args, "heal="+fmtDur(f.Heal))
+		}
+		if f.Jitter > 0 {
+			args = append(args, fmt.Sprintf("jitter=%g", f.Jitter))
+		}
+		if len(args) > 0 {
+			s += ":" + strings.Join(args, ",")
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ";")
+}
+
+// fmtDur renders a simulated duration in the Go syntax parseDur reads.
+func fmtDur(d simtime.Duration) string {
+	return (time.Duration(d) * time.Microsecond).String()
+}
+
 // Stats aggregates what the injector did and what recovery cost.
 type Stats struct {
 	// Events counts fault onsets (heals and restarts excluded).
@@ -126,10 +206,24 @@ type Stats struct {
 	Crashes int
 	// FailedTransfers counts state transfers the cluster reported failed.
 	FailedTransfers int
+	// RetriedTransfers counts transfer re-attempts scheduled by the
+	// cluster's retry policy (only nonzero when the plan arms it).
+	RetriedTransfers int
+	// WipedGroups counts key groups destroyed by crashes (state discarded at
+	// Instance.Fail). Recovery must account for every one of them:
+	// WipedGroups == RecoveredGroups + LostGroups + RelocatedGroups is an
+	// invariant of a healthy harness, and the chaos search's conservation
+	// oracle checks it — it is what catches a recovery path that silently
+	// stops running.
+	WipedGroups int
 	// RecoveredGroups counts key groups restored from checkpoint.
 	RecoveredGroups int
 	// LostGroups counts key groups no snapshot covered (restored empty).
 	LostGroups int
+	// RelocatedGroups counts wiped key groups that found a new live home
+	// before recovery ran (a superseding migration moved them), so recovery
+	// left them alone rather than forking their state.
+	RelocatedGroups int
 	// ReplayedRecords counts records re-earned as post-restore replay.
 	ReplayedRecords uint64
 	// RecoveryMs sums, per crash event, the time from onset to the revived
@@ -177,6 +271,20 @@ func (inj *Injector) Start() {
 		inj.stats.FailedTransfers++
 		if prevFail != nil {
 			prevFail(from, to, bytes, err)
+		}
+	}
+	if inj.plan.TransferRetries > 0 {
+		inj.rt.Cluster.TransferRetry = cluster.RetryPolicy{
+			Max:  inj.plan.TransferRetries,
+			Base: inj.plan.RetryBase,
+			Cap:  inj.plan.RetryCap,
+		}
+	}
+	prevRetry := inj.rt.Cluster.OnTransferRetry
+	inj.rt.Cluster.OnTransferRetry = func(from, to netsim.Endpoint, bytes int, err error, attempt int) {
+		inj.stats.RetriedTransfers++
+		if prevRetry != nil {
+			prevRetry(from, to, bytes, err, attempt)
 		}
 	}
 	for i := range inj.plan.Faults {
@@ -259,12 +367,31 @@ func (inj *Injector) crash(f Fault) {
 		}
 		victims = append(victims, in)
 		lost[in] = in.Fail()
+		inj.stats.WipedGroups += len(lost[in])
 	})
 	if f.Restart > 0 {
 		restart := f.Restart
 		inj.rt.Sched.After(restart, func() { c.MarkAlive(f.Node) })
 	}
+	if disableRecovery.Load() {
+		// Test hook: the crash's victims stay dead and their state stays
+		// gone, so the chaos search's conservation/liveness oracles have a
+		// genuine defect to find and shrink.
+		return
+	}
 	inj.rt.Sched.After(inj.plan.RecoveryDelay, func() { inj.recover(crashAt, victims, lost) })
+}
+
+// disableRecovery suppresses the crash-recovery re-plan (checkpoint restore,
+// replay, revive). It exists solely so chaos-search tests can verify the
+// harness catches a recovery regression; atomic because parallel bench
+// workers read it concurrently.
+var disableRecovery atomic.Bool
+
+// SetDisableRecovery toggles the recovery-suppression test hook and returns
+// the previous value so tests can restore it.
+func SetDisableRecovery(v bool) bool {
+	return disableRecovery.Swap(v)
 }
 
 // recover revives a crash's victims: re-place through the placement policy,
@@ -281,6 +408,7 @@ func (inj *Injector) recover(crashAt simtime.Time, victims []*engine.Instance, l
 				// The group found a new live home while the victim was down
 				// (a superseding migration moved it); restoring a stale copy
 				// here would fork its state.
+				inj.stats.RelocatedGroups++
 				continue
 			}
 			if g, ok := inj.ck.Lookup(op, in.Name(), kg); ok {
@@ -363,6 +491,9 @@ func (inj *Injector) uplink(f Fault) {
 //	uplink@14s:rack=r0,bw=0,heal=8s
 //	ckpt=2s          (plan knob: checkpoint cadence)
 //	recovery=1s      (plan knob: crash recovery delay)
+//	retry=3          (plan knob: transient-transfer retry budget)
+//	retrybase=250ms  (plan knob: first retry backoff)
+//	retrycap=2s      (plan knob: backoff ceiling)
 //
 // Durations use Go syntax ("500ms", "12s"); bw is bytes/s ("0" partitions).
 func ParseSpec(spec string) (*Plan, error) {
@@ -386,6 +517,30 @@ func ParseSpec(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("faults: recovery: %w", err)
 			}
 			p.RecoveryDelay = d
+			continue
+		}
+		if v, ok := strings.CutPrefix(entry, "retry="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: retry: want a non-negative count, got %q", v)
+			}
+			p.TransferRetries = n
+			continue
+		}
+		if v, ok := strings.CutPrefix(entry, "retrybase="); ok {
+			d, err := parseDur(v)
+			if err != nil {
+				return nil, fmt.Errorf("faults: retrybase: %w", err)
+			}
+			p.RetryBase = d
+			continue
+		}
+		if v, ok := strings.CutPrefix(entry, "retrycap="); ok {
+			d, err := parseDur(v)
+			if err != nil {
+				return nil, fmt.Errorf("faults: retrycap: %w", err)
+			}
+			p.RetryCap = d
 			continue
 		}
 		f, err := parseFault(entry)

@@ -52,6 +52,11 @@ func TestParseSpecErrors(t *testing.T) {
 		"crash@1s:node=n0,volume=11",   // unknown arg
 		"crash@1s:node",                // arg without =
 		"ckpt=fast",                    // bad plan knob
+		"retry=-1",                     // retry count must be >= 0
+		"retry=many",                   // retry count must be numeric
+		"retrybase=soon",               // bad backoff duration
+		"retrycap=2x",                  // bad backoff cap
+		"crash@1s:node=n0,jitter=lots", // bad jitter value
 	} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)

@@ -344,5 +344,17 @@ func (h *coupledOpHook) Processable(in *engine.Instance, r *netsim.Record, _ *ne
 	}
 	// A migrating group's records are processable wherever its state
 	// currently lives.
-	return in.Store().HasGroup(r.KeyGroup)
+	if in.Store().HasGroup(r.KeyGroup) {
+		return true
+	}
+	// No state here and the routing repair (settleFailure) has re-pointed
+	// the group elsewhere: the chunk this record was waiting on will never
+	// land. Admit it so ApplyRecord counts the strand, instead of gating the
+	// instance on state that isn't coming.
+	for _, p := range in.Runtime().PredecessorInstances(in.Spec.Name) {
+		if tbl := p.Routing(in.Spec.Name); tbl != nil {
+			return tbl.Owner(r.KeyGroup) != in.Index
+		}
+	}
+	return false
 }

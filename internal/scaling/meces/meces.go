@@ -16,6 +16,7 @@ package meces
 import (
 	"fmt"
 
+	"drrs/internal/cluster"
 	"drrs/internal/engine"
 	"drrs/internal/netsim"
 	"drrs/internal/scaling"
@@ -139,23 +140,41 @@ func (m *Mechanism) transfer(u subUnit, dst int) {
 			m.loc[u] = dst
 			m.inFlight[u] = false
 			m.checkUnit(u.kg)
-			to.Wake()
-			from.Wake()
+			// Wake every instance, not just the endpoints: a third instance
+			// can be suspended on this same sub-unit (its records were routed
+			// there under an older wave's plan), and without a wake it parks
+			// those records forever. Wakes coalesce, so this is cheap.
+			m.wakeAll()
 			// A fetch-back may have regressed progress; make sure the
 			// background pusher is running to re-migrate it.
 			m.ensureBackground()
-		}, func(error) {
+		}, func(err error) {
 			// Destination unreachable: the sub-unit merges back into its
 			// source shell and stays where it was. The background pusher keeps
 			// retrying; once the node restarts (or the group is re-planned
 			// away), the push converges.
+			if cluster.IsTransient(err) {
+				m.rt.Scale.AddCounter("meces_fails_transient", 1)
+			} else {
+				m.rt.Scale.AddCounter("meces_fails_fatal", 1)
+			}
 			from.Store().OwnGroup(u.kg)
 			from.Store().InstallGroup(u.kg, g)
 			m.inFlight[u] = false
-			from.Wake()
+			// Every waiter re-evaluates: the demanding side re-issues its
+			// fetch (the retry converges once the fault heals or recovery
+			// re-places the source), and third-party waiters unpark.
+			m.wakeAll()
 			m.ensureBackground()
 		})
 	})
+}
+
+// wakeAll wakes every instance of the scaled operator in index order.
+func (m *Mechanism) wakeAll() {
+	for _, in := range m.rt.Instances(m.plan.Operator) {
+		in.Wake()
+	}
 }
 
 // checkUnit marks kg migrated once all its sub-units have reached the plan
