@@ -20,10 +20,15 @@
 //	drrs-bench -record mu.trace -workload million-users -seed 1
 //	drrs-bench -replay mu.trace -workload million-users -seed 1
 //	drrs-bench -chaos 8 -workload node-loss-mid-migrate,straggler-rack,flaky-uplink -json chaos.json
+//	drrs-bench -experiment search -workload flash-crowd-reactive -searchmode grid -json search.json
+//	drrs-bench -counterfactual "k=2:noop" -workload flash-crowd-reactive -seed 5
 //
 // Experiments: fig2, fig10 (also emits Figs 11–13 from the same runs),
 // fig14, fig15, multiwave, sweep, topology (rack-local vs spread placement),
-// control (mechanisms under reactive closed-loop driving), ablation, all.
+// control (mechanisms under reactive closed-loop driving), search (offline
+// policy search: grid and/or evolutionary sweeps over controller knobs with
+// per-scenario Pareto fronts; -searchmode picks the sweep, -searchseed drives
+// the evolutionary RNG stream), ablation, all.
 // -workload accepts any registered scenario (see -list); fig10's default
 // "all" covers the paper's q7, q8, twitch; sweep's default "all" covers
 // every registered scenario. -topology/-placement force every run onto a
@@ -39,6 +44,11 @@
 // each case executed twice for the determinism oracle, and any failing plan
 // shrunk to a minimal self-reproducing spec string. Exits 1 when violations
 // are found; -json writes them as a machine-readable artifact.
+//
+// -counterfactual runs one closed-loop scenario twice — unforced, then with
+// the intervention spec applied to the controller's decision sequence
+// ("k=2:noop", "k=1:target=12", "all:delay=2s"; entries ';'-separated) — and
+// prints a side-by-side outcome diff with both decision audit trails.
 //
 // -record runs one scenario once while capturing the arrival stream its
 // sources consume, writes it to a versioned trace file, and prints the run's
@@ -72,6 +82,8 @@ import (
 	"drrs/internal/bench"
 	"drrs/internal/bench/cliopts"
 	"drrs/internal/chaos"
+	"drrs/internal/control"
+	"drrs/internal/policysearch"
 	"drrs/internal/scaling"
 )
 
@@ -111,7 +123,7 @@ type perfRecord struct {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2 | fig10 | fig14 | fig15 | multiwave | sweep | topology | ablation | all")
+	experiment := flag.String("experiment", "all", "fig2 | fig10 | fig14 | fig15 | multiwave | sweep | topology | search | ablation | all")
 	workloadName := flag.String("workload", "all", "registered scenario name, comma list, or all (see -list)")
 	mechanisms := flag.String("mechanisms", "", "comma list of mechanisms for multiwave/sweep/topology (default drrs,meces,megaphone)")
 	seeds := flag.Int("seeds", 3, "number of repeated runs per configuration")
@@ -124,6 +136,10 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	chaosN := flag.Int("chaos", 0, "run the deterministic chaos search over N seeds starting at -seed (0 disables)")
+	counterfactual := flag.String("counterfactual", "", "intervention spec (e.g. \"k=2:noop\"): run one scenario with and without it and print the outcome diff")
+	searchMode := flag.String("searchmode", "both", "policy-search sweep for -experiment search: grid | evolve | both")
+	searchSeed := flag.Int64("searchseed", 1, "seed for the evolutionary policy search's RNG stream")
+	searchSpace := flag.String("searchspace", "full", "policy-search knob menu: full | smoke (the CI-sized subset)")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
 
@@ -148,9 +164,24 @@ func main() {
 		os.Exit(2)
 	}
 	switch *experiment {
-	case "fig2", "fig10", "fig14", "fig15", "multiwave", "sweep", "topology", "control", "ablation", "all":
+	case "fig2", "fig10", "fig14", "fig15", "multiwave", "sweep", "topology", "control", "search", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	switch *searchMode {
+	case "grid", "evolve", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "drrs-bench: -searchmode must be grid, evolve, or both (got %q)\n", *searchMode)
+		os.Exit(2)
+	}
+	var space policysearch.Space
+	switch *searchSpace {
+	case "full": // Search fills in DefaultSpace for the zero value.
+	case "smoke":
+		space = policysearch.SmokeSpace()
+	default:
+		fmt.Fprintf(os.Stderr, "drrs-bench: -searchspace must be full or smoke (got %q)\n", *searchSpace)
 		os.Exit(2)
 	}
 	if *chaosN < 0 {
@@ -208,6 +239,13 @@ func main() {
 	// artifact shape.
 	if *chaosN > 0 {
 		os.Exit(runChaos(*chaosN, *workloadName, mechList, *baseSeed, *parallel, *jsonOut))
+	}
+
+	// Counterfactual mode is a single-run diff, like -record/-replay: one
+	// scenario, one seed, one mechanism, two executions.
+	if *counterfactual != "" {
+		runCounterfactual(*counterfactual, *workloadName, mechList, *baseSeed)
+		return
 	}
 
 	// Profiling setup runs after every usage-error exit above, and once it
@@ -370,6 +408,20 @@ func main() {
 			wl := wl
 			run(wl, func() bench.FigureResult { return bench.ControlFigure(wl, mechList, seedList) })
 		}
+	case "search":
+		for _, wl := range workloads(*workloadName, []string{"flash-crowd-reactive"}) {
+			wl := wl
+			mech := "drrs"
+			if len(mechList) > 0 {
+				mech = mechList[0]
+			}
+			run("search/"+wl, func() bench.FigureResult {
+				return policysearch.Search(policysearch.SearchConfig{
+					Scenario: wl, Mechanism: mech, Seeds: seedList,
+					Mode: *searchMode, SearchSeed: *searchSeed, Space: space,
+				})
+			})
+		}
 	case "ablation":
 		run("ablation", func() bench.FigureResult { return ablation(*baseSeed) })
 	case "all":
@@ -503,6 +555,34 @@ func runChaos(n int, workloadName string, mechList []string, baseSeed int64, wor
 		return 1
 	}
 	return 0
+}
+
+// runCounterfactual is the -counterfactual mode: parse the intervention
+// spec, run one (workload, mechanism, seed) tuple with and without it, and
+// print the side-by-side outcome diff.
+func runCounterfactual(spec, workloadName string, mechList []string, seed int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "drrs-bench: %v\n", r)
+			os.Exit(2)
+		}
+	}()
+	ivs, err := control.ParseInterventions(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drrs-bench: -counterfactual: %v\n", err)
+		os.Exit(2)
+	}
+	names := splitList(workloadName)
+	if workloadName == "all" || len(names) != 1 {
+		fmt.Fprintf(os.Stderr, "drrs-bench: -counterfactual diffs one scenario: pass a single closed-loop -workload (see -list)\n")
+		os.Exit(2)
+	}
+	mech := "drrs"
+	if len(mechList) > 0 {
+		mech = mechList[0]
+	}
+	cf := policysearch.RunCounterfactual(names[0], mech, seed, ivs)
+	fmt.Print(cf.FormatDiff())
 }
 
 // flagWasSet reports whether the named flag appeared on the command line

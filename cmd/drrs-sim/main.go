@@ -37,6 +37,7 @@ import (
 
 	"drrs/internal/bench"
 	"drrs/internal/bench/cliopts"
+	"drrs/internal/fitness"
 	"drrs/internal/scaling"
 	"drrs/internal/simtime"
 )
@@ -121,6 +122,11 @@ func main() {
 	if o.TransferredBytes > 0 {
 		fmt.Printf("migration  : %.2f MB moved, %.2f MB across rack uplinks\n",
 			float64(o.TransferredBytes)/(1<<20), float64(o.CrossRackBytes)/(1<<20))
+	}
+	if o.InstanceSeconds > 0 {
+		c := o.Fitness()
+		fmt.Printf("fitness    : score %.2f (SLO %.0fs bad, %.2f MB migrated, %.0f instance-sec, %.0f oscillations)\n",
+			c.Score(fitness.DefaultWeights()), c.SLOViolations, c.MigrationMB, c.InstanceSeconds, c.Oscillations)
 	}
 	// The digest fingerprints the run's full outcome; identical digests mean
 	// bit-identical runs (the -record/-replay round-trip check).

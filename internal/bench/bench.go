@@ -187,6 +187,12 @@ type Outcome struct {
 	// clusters). Their difference is what rack-local placement saves.
 	TransferredBytes int64
 	CrossRackBytes   int64
+	// InstanceSeconds integrates the scaled operator's deployed parallelism
+	// over the run clock — the provisioning-cost axis of the fitness score.
+	// Derived from the wave timeline after the run, so it is deliberately
+	// outside OutcomeDigest: every digest pinned before it existed stays
+	// byte-identical.
+	InstanceSeconds float64
 
 	// Faults summarizes the fault injection and recovery activity; nil on
 	// unfaulted runs, so every digest pinned before the fault layer existed
@@ -230,6 +236,12 @@ func (sc Scenario) Run(mech scaling.Mechanism) Outcome {
 // (HorizonOf helps), or the drain would never terminate.
 func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 	g, _ := sc.buildGraph()
+	// Captured before any scaling mutates the graph: the instance-seconds
+	// integration starts from the operator's pre-scale deployment.
+	initialP := 0
+	if sc.ScaleOp != "" {
+		initialP = g.Operator(sc.ScaleOp).Parallelism
+	}
 	s := simtime.NewScheduler()
 	cl := sc.buildCluster(s)
 	// Initial deployment consults the cluster's placement policy, operator by
@@ -301,6 +313,9 @@ func (sc Scenario) RunWith(newMech func() scaling.Mechanism) Outcome {
 			last := &out.Waves[len(out.Waves)-1]
 			out.StabilizedAt, out.Stabilized = last.StabilizedAt, last.Stabilized
 		}
+	}
+	if sc.ScaleOp != "" {
+		out.InstanceSeconds = instanceSeconds(initialP, out.Waves, out.EndAt)
 	}
 	if sc.Inspect != nil {
 		sc.Inspect(rt, &out)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"drrs/internal/fitness"
 	"drrs/internal/simtime"
 )
 
@@ -52,7 +53,7 @@ func ControlFigure(workloadName string, mechs []string, seeds []int64) FigureRes
 					opsDone++
 				}
 			}
-			finalP[finalParallelism(o)]++
+			finalP[FinalParallelism(o)]++
 		}
 		r := Row{
 			PeakMs:       NewStat(peak),
@@ -66,7 +67,8 @@ func ControlFigure(workloadName string, mechs []string, seeds []int64) FigureRes
 				OpsTotal:         opsAll,
 				FinalParallelism: finalP,
 			},
-			Faults: faultStats(outs[mech]),
+			Faults:  faultStats(outs[mech]),
+			Fitness: fitnessStats(outs[mech], fitness.DefaultWeights()),
 		}
 		rows[mech] = r
 		fmt.Fprintf(&b, "%-12s %18s %18s %12s %12s %10s %10s %9d/%d %8s\n",
@@ -92,11 +94,12 @@ func ControlFigure(workloadName string, mechs []string, seeds []int64) FigureRes
 	return FigureResult{Title: "control/" + workloadName, Text: b.String(), Rows: rows}
 }
 
-// finalParallelism reports where the run's control loop left the operator:
+// FinalParallelism reports where the run's control loop left the operator:
 // the target of the last completed operation, else the parallelism the
 // first decision observed (the initial one), else 0 — a run whose policy
-// never decided anything (rendered as "init" in the figure).
-func finalParallelism(o Outcome) int {
+// never decided anything (rendered as "init" in the figure). Exported for
+// the policy-search counterfactual diff.
+func FinalParallelism(o Outcome) int {
 	p := 0
 	if len(o.Decisions) > 0 {
 		p = o.Decisions[0].From
@@ -131,6 +134,9 @@ func FormatDecisions(o Outcome) string {
 		flag := ""
 		if d.Superseded {
 			flag = " [superseded in-flight op]"
+		}
+		if d.Forced {
+			flag += " [forced]"
 		}
 		fmt.Fprintf(&b, "  #%d %8v %s %2d→%-2d %-22s %s%s\n",
 			d.Seq, d.At, d.Policy, d.From, d.To, status, d.Reason, flag)

@@ -179,6 +179,14 @@ type ControllerDriver struct {
 	// RatedRPS is the per-instance capacity policies plan against; zero
 	// derives 1/CostPerRecord from the scaling operator's spec.
 	RatedRPS float64
+	// Patience / Horizon tune the policy's scale-in hysteresis and projection
+	// distance (zero keeps the policy defaults) — the knobs the policy search
+	// sweeps alongside Cadence and Debounce.
+	Patience int
+	Horizon  simtime.Duration
+	// Interventions force counterfactual forks at numbered decisions; see
+	// control.Intervention. Empty reproduces the unforced run exactly.
+	Interventions []control.Intervention
 }
 
 // Name implements Driver.
@@ -207,7 +215,11 @@ func (d *ControllerDriver) Drive(r *Run) {
 	if max == 0 {
 		max = initP * 2
 	}
-	pol := control.PolicyByName(d.Policy, control.PolicyParams{RatedRPS: rated})
+	pol := control.PolicyByName(d.Policy, control.PolicyParams{
+		RatedRPS: rated,
+		Patience: d.Patience,
+		Horizon:  d.Horizon,
+	})
 	cfg := control.Config{
 		Operator:           sc.ScaleOp,
 		Policy:             pol,
@@ -222,6 +234,7 @@ func (d *ControllerDriver) Drive(r *Run) {
 		Max:                max,
 		Setup:              sc.Setup,
 		InitialParallelism: initP,
+		Interventions:      d.Interventions,
 	}
 	if r.Injector != nil {
 		// Faulted runs close a second loop: the injector's disruption feed
@@ -259,6 +272,21 @@ func (d *ControllerDriver) Finish(r *Run) {
 	if r.ctl != nil {
 		r.Outcome.Decisions = r.ctl.Decisions()
 	}
+}
+
+// WithInterventions returns a copy of the scenario whose controller driver
+// forces the given counterfactual interventions. It panics on scripted
+// scenarios — a wave program has no policy decisions to fork; use the
+// -driver controller override first.
+func (sc Scenario) WithInterventions(ivs []control.Intervention) Scenario {
+	own, ok := sc.driver().(*ControllerDriver)
+	if !ok {
+		panic(fmt.Sprintf("bench: scenario %q is driven by a scripted wave program — counterfactual interventions fork policy decisions, so the scenario must be controller-driven", sc.Name))
+	}
+	clone := *own
+	clone.Interventions = ivs
+	sc.Driver = &clone
+	return sc
 }
 
 // driverOverride forces every subsequent run onto a driver/policy; see

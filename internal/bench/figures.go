@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"drrs/internal/core"
+	"drrs/internal/fitness"
 	"drrs/internal/scaling"
 	"drrs/internal/scaling/meces"
 	"drrs/internal/scaling/megaphone"
@@ -83,6 +84,9 @@ type Row struct {
 	// run was faulted (and omitted from -json output there), so healthy
 	// sweeps serialize exactly as before the chaos track.
 	Faults *FaultStats `json:",omitempty"`
+	// Fitness carries the multi-objective fitness components and the weighted
+	// score, so -json artifacts are self-describing inputs to policy search.
+	Fitness *FitnessStats `json:",omitempty"`
 }
 
 // ControlStats are one mechanism's closed-loop headline numbers: how the
@@ -226,6 +230,7 @@ func rowsFrom(outs map[string][]Outcome) map[string]Row {
 			DepOverheadMs: NewStat(dep),
 			SuspensionMs:  NewStat(susp),
 			Faults:        faultStats(runs),
+			Fitness:       fitnessStats(runs, fitness.DefaultWeights()),
 		}
 	}
 	return rows
@@ -479,6 +484,7 @@ func Sweep(scenarioNames []string, mechs []string, seeds []int64) FigureResult {
 				ScalingSec:   NewStat(dur),
 				SuspensionMs: NewStat(susp),
 				Faults:       faultStats(runs),
+				Fitness:      fitnessStats(runs, fitness.DefaultWeights()),
 			}
 			rows[scn+"/"+mech] = r
 			fmt.Fprintf(&b, "%-16s %-12s %16s %16s %16s %16s %4d/%d\n",

@@ -15,6 +15,8 @@
 package control
 
 import (
+	"fmt"
+
 	"drrs/internal/engine"
 	"drrs/internal/scaling"
 	"drrs/internal/simtime"
@@ -63,6 +65,11 @@ type Config struct {
 	// in flight triggers an involuntary recovery supersession — cancel,
 	// re-plan from surviving placement — bypassing the debounce guard.
 	Health func() (int, string)
+	// Interventions force counterfactual forks: each intercepts the voluntary
+	// decision whose Seq matches its K (recovery decisions are exempt) and
+	// replaces the policy's choice — see Intervention. Empty means the policy
+	// runs unforced, which is the only mode the golden digests pin.
+	Interventions []Intervention
 }
 
 func (c *Config) fillDefaults() {
@@ -112,6 +119,14 @@ type Decision struct {
 	// Done/DoneAt report the operation's completion.
 	Done   bool
 	DoneAt simtime.Time
+	// Snapshot is what the policy saw when it fired — the evidence behind the
+	// decision, recorded so counterfactual analysis can ask "given this view,
+	// was the action right?". Not folded into outcome digests.
+	Snapshot Snapshot
+	// Forced reports a counterfactual intervention replaced the policy's
+	// choice at this fork (see Config.Interventions). Never set on unforced
+	// runs, so golden digests are unaffected.
+	Forced bool
 }
 
 // Hooks are the harness integration points.
@@ -141,6 +156,10 @@ type Controller struct {
 	// degraded-mode debounce widening.
 	lastDisrupt simtime.Time
 	disrupted   bool
+	// delayed suppresses new policy decisions while a delay-intervened
+	// decision waits for its shifted action: the fork under study is the
+	// postponed action, not a race against fresher decisions.
+	delayed bool
 }
 
 // New builds a controller. Call Start before running the scheduler.
@@ -197,7 +216,7 @@ func (c *Controller) tick() {
 	s := c.Sample()
 	acts := c.cfg.Policy.Observe(s)
 	if now >= c.cfg.HoldOff {
-		c.consider(now, acts)
+		c.consider(now, s, acts)
 	}
 	c.schedule()
 }
@@ -232,6 +251,7 @@ func (c *Controller) checkHealth(now simtime.Time) {
 		To:         c.target(),
 		Superseded: true,
 		Recovery:   true,
+		Snapshot:   c.Sample(),
 	}
 	c.decisions = append(c.decisions, d)
 	c.pending = d.Seq
@@ -258,8 +278,13 @@ func (c *Controller) Sample() Snapshot {
 }
 
 // consider applies the first actionable entry: clamp, drop no-ops, debounce,
-// then either launch or supersede.
-func (c *Controller) consider(now simtime.Time, acts []Action) {
+// then — unless a counterfactual intervention forces the fork — either launch
+// or supersede.
+func (c *Controller) consider(now simtime.Time, s Snapshot, acts []Action) {
+	if c.delayed {
+		// A delay-intervened decision is waiting for its shifted action.
+		return
+	}
 	for _, a := range acts {
 		to := a.Target
 		if to < c.cfg.Min {
@@ -282,33 +307,88 @@ func (c *Controller) consider(now simtime.Time, acts []Action) {
 		}
 		c.lastAct, c.acted = now, true
 		d := Decision{
-			Seq:    len(c.decisions),
-			At:     now,
-			Policy: c.cfg.Policy.Name(),
-			Reason: a.Reason,
-			From:   c.target(),
-			To:     to,
+			Seq:      len(c.decisions),
+			At:       now,
+			Policy:   c.cfg.Policy.Name(),
+			Reason:   a.Reason,
+			From:     c.target(),
+			To:       to,
+			Snapshot: s,
 		}
-		if c.cur != nil {
-			// Concurrent-execution rule: the newer request terminates the
-			// older one. Cancel stops mechanisms that honor it from
-			// launching further migration work; either way the replacement
-			// waits for the old operation's done, then plans from the actual
-			// (partially migrated) placement. pending must be set before
-			// Cancel: a mechanism with nothing in flight (still deploying,
-			// or between subscale batches) completes synchronously inside
-			// Cancel, and its done callback is what launches the
-			// replacement.
-			d.Superseded = true
-			c.decisions = append(c.decisions, d)
-			c.pending = d.Seq
-			c.cur.Cancel()
+		if iv, ok := intervention(c.cfg.Interventions, d.Seq); ok {
+			c.force(d, iv)
 			return
 		}
 		c.decisions = append(c.decisions, d)
-		c.launch(d.Seq)
+		c.act(d.Seq)
 		return
 	}
+}
+
+// force applies a counterfactual intervention at decision d's fork. The
+// decision passed every unforced gate (clamp, no-op skip, debounce) and has
+// consumed the debounce slot, so the forced run's decision *timing* matches
+// the baseline — only the action at this fork differs.
+func (c *Controller) force(d Decision, iv Intervention) {
+	d.Forced = true
+	if iv.NoOp {
+		// Drop the fork: record what the policy wanted (audit trail keeps the
+		// original To) but cancel and launch nothing.
+		d.Reason = "forced noop; policy wanted: " + d.Reason
+		c.decisions = append(c.decisions, d)
+		return
+	}
+	if iv.Target > 0 {
+		to := iv.Target
+		if to < c.cfg.Min {
+			to = c.cfg.Min
+		}
+		if to > c.cfg.Max {
+			to = c.cfg.Max
+		}
+		d.Reason = fmt.Sprintf("forced target %d; policy wanted %d: %s", to, d.To, d.Reason)
+		d.To = to
+		if d.To == c.target() {
+			// The forced target is where the system is already heading — a
+			// forced no-op, recorded but not acted on.
+			c.decisions = append(c.decisions, d)
+			return
+		}
+	}
+	if iv.Delay > 0 {
+		d.Reason = fmt.Sprintf("forced +%v delay: %s", iv.Delay, d.Reason)
+		c.decisions = append(c.decisions, d)
+		di := d.Seq
+		c.delayed = true
+		c.rt.Sched.After(iv.Delay, func() {
+			c.delayed = false
+			c.act(di)
+		})
+		return
+	}
+	c.decisions = append(c.decisions, d)
+	c.act(d.Seq)
+}
+
+// act performs decision di's action: supersede the in-flight operation or
+// launch immediately.
+func (c *Controller) act(di int) {
+	if c.cur != nil {
+		// Concurrent-execution rule: the newer request terminates the
+		// older one. Cancel stops mechanisms that honor it from
+		// launching further migration work; either way the replacement
+		// waits for the old operation's done, then plans from the actual
+		// (partially migrated) placement. pending must be set before
+		// Cancel: a mechanism with nothing in flight (still deploying,
+		// or between subscale batches) completes synchronously inside
+		// Cancel, and its done callback is what launches the
+		// replacement.
+		c.decisions[di].Superseded = true
+		c.pending = di
+		c.cur.Cancel()
+		return
+	}
+	c.launch(di)
 }
 
 // launch begins decision di's operation from the actual current placement.

@@ -1,0 +1,151 @@
+package control
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"drrs/internal/simtime"
+)
+
+// AllDecisions is the Intervention.K wildcard: the intervention fires at
+// every policy decision instead of one numbered fork point.
+const AllDecisions = -1
+
+// Intervention forces an alternative at one decision point of a controller
+// run — the counterfactual fork. A counterfactual replay is a deterministic
+// re-execution of the same seeded scenario with one (or more) decisions
+// replaced: drop the decision entirely (NoOp), redirect it to a different
+// target parallelism (Target), or shift its timing (Delay). Everything else
+// — workload, policy, debounce, supersession — runs exactly as in the
+// baseline, so any outcome difference is attributable to the fork.
+//
+// Interventions match voluntary policy decisions by their audit-trail Seq.
+// Involuntary recovery decisions (Config.Health supersessions) are never
+// intercepted: forcing a no-op there would leave an operation migrating into
+// a dead destination, which is a fault-handling experiment, not a decision
+// counterfactual.
+type Intervention struct {
+	// K selects the decision (Decision.Seq) to force; AllDecisions matches
+	// every voluntary decision.
+	K int
+	// NoOp drops the decision: it is recorded in the audit trail (Forced,
+	// never Launched) but nothing is cancelled or launched.
+	NoOp bool
+	// Target, when > 0, replaces the policy's requested parallelism. It is
+	// clamped to the controller's Min/Max like any decision.
+	Target int
+	// Delay postpones the decision's action: the decision is recorded at its
+	// original instant, but the cancel-and-launch (or launch) happens Delay
+	// later. Policy decisions arriving during the delay are suppressed — the
+	// fork under study is the shifted action, not a race against it.
+	Delay simtime.Duration
+}
+
+// String renders the intervention in the spec grammar ParseInterventions
+// reads, so a forced run is reproducible from its printed report.
+func (iv Intervention) String() string {
+	k := "all"
+	if iv.K != AllDecisions {
+		k = fmt.Sprintf("k=%d", iv.K)
+	}
+	var acts []string
+	if iv.NoOp {
+		acts = append(acts, "noop")
+	}
+	if iv.Target > 0 {
+		acts = append(acts, fmt.Sprintf("target=%d", iv.Target))
+	}
+	if iv.Delay > 0 {
+		acts = append(acts, "delay="+(time.Duration(iv.Delay)*time.Microsecond).String())
+	}
+	return k + ":" + strings.Join(acts, ",")
+}
+
+// ParseInterventions parses a counterfactual spec:
+//
+//	spec   := entry (';' entry)*
+//	entry  := ('k=' N | 'all') ':' action (',' action)*
+//	action := 'noop' | 'target=' N | 'delay=' duration
+//
+// Examples: "k=2:noop" drops decision 2; "k=0:target=14" redirects the first
+// decision; "k=1:delay=2s" shifts decision 1's action two seconds later;
+// "all:noop" suppresses every voluntary decision (the no-controller
+// counterfactual). Durations use Go syntax ("500ms", "2s").
+func ParseInterventions(spec string) ([]Intervention, error) {
+	var out []Intervention
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		sel, actions, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("control: intervention %q needs '<k=N|all>:<actions>'", entry)
+		}
+		iv := Intervention{K: AllDecisions}
+		switch {
+		case strings.TrimSpace(sel) == "all":
+		case strings.HasPrefix(strings.TrimSpace(sel), "k="):
+			k, err := strconv.Atoi(strings.TrimSpace(sel)[2:])
+			if err != nil || k < 0 {
+				return nil, fmt.Errorf("control: intervention %q: bad decision index %q", entry, sel)
+			}
+			iv.K = k
+		default:
+			return nil, fmt.Errorf("control: intervention %q: selector %q is neither k=N nor all", entry, sel)
+		}
+		for _, act := range strings.Split(actions, ",") {
+			key, val, hasVal := strings.Cut(strings.TrimSpace(act), "=")
+			switch key {
+			case "noop":
+				if hasVal {
+					return nil, fmt.Errorf("control: intervention %q: noop takes no value", entry)
+				}
+				iv.NoOp = true
+			case "target":
+				n, err := strconv.Atoi(val)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("control: intervention %q: bad target %q", entry, val)
+				}
+				iv.Target = n
+			case "delay":
+				td, err := time.ParseDuration(val)
+				if err != nil || td <= 0 {
+					return nil, fmt.Errorf("control: intervention %q: bad delay %q", entry, val)
+				}
+				iv.Delay = simtime.Duration(td / time.Microsecond)
+			default:
+				return nil, fmt.Errorf("control: intervention %q: unknown action %q (noop | target=N | delay=D)", entry, act)
+			}
+		}
+		if iv.NoOp && (iv.Target > 0 || iv.Delay > 0) {
+			return nil, fmt.Errorf("control: intervention %q: noop excludes target/delay — a dropped decision has no action to modify", entry)
+		}
+		if !iv.NoOp && iv.Target == 0 && iv.Delay == 0 {
+			return nil, fmt.Errorf("control: intervention %q has no action", entry)
+		}
+		out = append(out, iv)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("control: intervention spec %q is empty", spec)
+	}
+	return out, nil
+}
+
+// intervention resolves the intervention forcing decision seq: an exact K
+// match wins over the AllDecisions wildcard.
+func intervention(ivs []Intervention, seq int) (Intervention, bool) {
+	var wild Intervention
+	found := false
+	for _, iv := range ivs {
+		if iv.K == seq {
+			return iv, true
+		}
+		if iv.K == AllDecisions && !found {
+			wild, found = iv, true
+		}
+	}
+	return wild, found
+}

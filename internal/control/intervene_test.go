@@ -1,0 +1,93 @@
+package control
+
+import (
+	"testing"
+
+	"drrs/internal/simtime"
+)
+
+func TestParseInterventions(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []Intervention
+	}{
+		{"k=2:noop", []Intervention{{K: 2, NoOp: true}}},
+		{"all:noop", []Intervention{{K: AllDecisions, NoOp: true}}},
+		{"k=0:target=14", []Intervention{{K: 0, Target: 14}}},
+		{"k=1:delay=2s", []Intervention{{K: 1, Delay: 2 * simtime.Second}}},
+		{"k=1:target=6,delay=500ms", []Intervention{{K: 1, Target: 6, Delay: 500 * simtime.Millisecond}}},
+		{"k=0:noop; k=3:target=8", []Intervention{{K: 0, NoOp: true}, {K: 3, Target: 8}}},
+	}
+	for _, c := range cases {
+		got, err := ParseInterventions(c.spec)
+		if err != nil {
+			t.Errorf("ParseInterventions(%q): %v", c.spec, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseInterventions(%q) = %v, want %v", c.spec, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseInterventions(%q)[%d] = %+v, want %+v", c.spec, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseInterventionsRejects(t *testing.T) {
+	for _, spec := range []string{
+		"",                  // empty
+		"k=2",               // no action
+		"k=2:",              // empty action
+		"2:noop",            // bare index
+		"k=-1:noop",         // negative index
+		"k=2:noop,target=8", // noop excludes target
+		"k=2:target=0",      // non-positive target
+		"k=2:delay=-1s",     // non-positive delay
+		"k=2:delay=fast",    // unparseable duration
+		"k=2:sideways",      // unknown action
+	} {
+		if ivs, err := ParseInterventions(spec); err == nil {
+			t.Errorf("ParseInterventions(%q) accepted as %v, want error", spec, ivs)
+		}
+	}
+}
+
+// TestInterventionRoundTrip pins that String() re-parses to the same
+// intervention, so forced runs are reproducible from printed reports.
+func TestInterventionRoundTrip(t *testing.T) {
+	for _, iv := range []Intervention{
+		{K: 2, NoOp: true},
+		{K: AllDecisions, NoOp: true},
+		{K: 0, Target: 14},
+		{K: 1, Target: 6, Delay: 2 * simtime.Second},
+	} {
+		back, err := ParseInterventions(iv.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", iv.String(), err)
+		}
+		if len(back) != 1 || back[0] != iv {
+			t.Errorf("round trip %+v → %q → %+v", iv, iv.String(), back)
+		}
+	}
+}
+
+// TestInterventionLookup pins precedence: an exact K match beats the
+// AllDecisions wildcard regardless of spec order.
+func TestInterventionLookup(t *testing.T) {
+	ivs := []Intervention{
+		{K: AllDecisions, NoOp: true},
+		{K: 2, Target: 9},
+	}
+	if iv, ok := intervention(ivs, 2); !ok || iv.Target != 9 {
+		t.Errorf("seq 2 resolved %+v, want the exact target=9 match", iv)
+	}
+	if iv, ok := intervention(ivs, 5); !ok || !iv.NoOp {
+		t.Errorf("seq 5 resolved %+v, want the wildcard noop", iv)
+	}
+	if _, ok := intervention([]Intervention{{K: 1, NoOp: true}}, 0); ok {
+		t.Error("seq 0 matched a k=1 intervention")
+	}
+}

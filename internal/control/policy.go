@@ -345,20 +345,30 @@ func (p *Predictive) fillDefaults() {
 }
 
 // PolicyParams carries the scenario-derived calibration a by-name policy
-// needs (the registry cannot know per-workload capacities).
+// needs (the registry cannot know per-workload capacities), plus the tunable
+// knobs the policy-search sweeps explore. Zero values defer to each policy's
+// fillDefaults, so existing by-name construction is unchanged.
 type PolicyParams struct {
 	// RatedRPS is the per-instance processing capacity (records/s). The
 	// bench driver derives it from the scaling operator's CostPerRecord when
 	// the scenario does not pin it.
 	RatedRPS float64
+	// Patience is the scale-in hysteresis: consecutive agreeing samples
+	// required before shrinking (backlog and predictive policies; threshold
+	// has no hysteresis counter).
+	Patience int
+	// Horizon is the predictive policy's projection distance.
+	Horizon simtime.Duration
 }
 
 // policyFactories maps registry names to constructors. Policies are stateful,
 // so the registry hands out factories, never shared instances.
 var policyFactories = map[string]func(PolicyParams) Policy{
-	"threshold":  func(p PolicyParams) Policy { return &Threshold{RatedRPS: p.RatedRPS} },
-	"backlog":    func(p PolicyParams) Policy { return &Backlog{RatedRPS: p.RatedRPS} },
-	"predictive": func(p PolicyParams) Policy { return &Predictive{RatedRPS: p.RatedRPS} },
+	"threshold": func(p PolicyParams) Policy { return &Threshold{RatedRPS: p.RatedRPS} },
+	"backlog":   func(p PolicyParams) Policy { return &Backlog{RatedRPS: p.RatedRPS, Patience: p.Patience} },
+	"predictive": func(p PolicyParams) Policy {
+		return &Predictive{RatedRPS: p.RatedRPS, Patience: p.Patience, Horizon: p.Horizon}
+	},
 }
 
 // PolicyNames lists the registered policy names, sorted.

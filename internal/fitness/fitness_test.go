@@ -1,0 +1,191 @@
+package fitness
+
+import (
+	"testing"
+
+	"drrs/internal/control"
+	"drrs/internal/metrics"
+	"drrs/internal/simtime"
+)
+
+func TestMeasureSLOViolations(t *testing.T) {
+	// Ten seconds of markers at 250 ms cadence: baseline 20 ms for 4 s, a
+	// 3-second excursion to 60 ms, then recovery. With a 1.10 factor the SLO
+	// line is 22 ms, so exactly the three excursion buckets violate.
+	lat := metrics.NewSeries("latency_ms")
+	for at := simtime.Time(0); at < 10*simtime.Time(simtime.Second); at = at.Add(250 * simtime.Millisecond) {
+		v := 20.0
+		if at >= 4*simtime.Time(simtime.Second) && at < 7*simtime.Time(simtime.Second) {
+			v = 60.0
+		}
+		lat.Append(at, v)
+	}
+	c := Measure(Input{
+		Latency:          lat,
+		PreAvgMs:         20,
+		From:             0,
+		To:               10 * simtime.Time(simtime.Second),
+		TransferredBytes: 3_000_000,
+		InstanceSeconds:  120,
+	})
+	if c.SLOViolations != 3 {
+		t.Errorf("SLOViolations = %v, want 3 (one per excursion second)", c.SLOViolations)
+	}
+	if c.MigrationMB != 3 {
+		t.Errorf("MigrationMB = %v, want 3", c.MigrationMB)
+	}
+	if c.InstanceSeconds != 120 {
+		t.Errorf("InstanceSeconds = %v, want 120", c.InstanceSeconds)
+	}
+}
+
+func TestMeasureNoBaseline(t *testing.T) {
+	lat := metrics.NewSeries("latency_ms")
+	lat.Append(simtime.Time(simtime.Second), 1e9)
+	c := Measure(Input{Latency: lat, PreAvgMs: 0, To: 2 * simtime.Time(simtime.Second)})
+	if c.SLOViolations != 0 {
+		t.Errorf("SLOViolations = %v without a baseline, want 0", c.SLOViolations)
+	}
+}
+
+func TestOscillations(t *testing.T) {
+	d := func(from, to int, launched, recovery bool) control.Decision {
+		return control.Decision{From: from, To: to, Launched: launched, Recovery: recovery}
+	}
+	cases := []struct {
+		name string
+		ds   []control.Decision
+		want int
+	}{
+		{"empty", nil, 0},
+		{"monotonic growth", []control.Decision{d(4, 8, true, false), d(8, 12, true, false)}, 0},
+		{"one reversal", []control.Decision{d(4, 12, true, false), d(12, 6, true, false)}, 1},
+		{"flapping", []control.Decision{
+			d(4, 8, true, false), d(8, 4, true, false), d(4, 8, true, false), d(8, 4, true, false),
+		}, 3},
+		{"unlaunched ignored", []control.Decision{d(4, 12, true, false), d(12, 6, false, false), d(12, 16, true, false)}, 0},
+		{"recovery ignored", []control.Decision{d(4, 12, true, false), d(12, 12, true, true), d(12, 6, true, false)}, 1},
+	}
+	for _, c := range cases {
+		if got := Oscillations(c.ds); got != c.want {
+			t.Errorf("%s: Oscillations = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	base := Components{SLOViolations: 3, MigrationMB: 10, InstanceSeconds: 100, Oscillations: 1}
+	better := Components{SLOViolations: 2, MigrationMB: 10, InstanceSeconds: 100, Oscillations: 1}
+	mixed := Components{SLOViolations: 1, MigrationMB: 50, InstanceSeconds: 100, Oscillations: 1}
+	if !Dominates(better, base) {
+		t.Error("strictly-better-on-one-axis must dominate")
+	}
+	if Dominates(base, better) {
+		t.Error("dominance reversed")
+	}
+	// Equal vectors: neither dominates — duplicates coexist on a front.
+	if Dominates(base, base) || Dominates(better, better) {
+		t.Error("a vector must not dominate its equal")
+	}
+	// Trade-off: better SLO but worse migration — incomparable.
+	if Dominates(mixed, base) || Dominates(base, mixed) {
+		t.Error("trade-off vectors must be incomparable")
+	}
+}
+
+func TestFront(t *testing.T) {
+	if got := Front(nil); len(got) != 0 {
+		t.Errorf("Front(nil) = %v, want empty", got)
+	}
+	cs := []Components{
+		{SLOViolations: 3, MigrationMB: 10}, // 0: dominated by 1
+		{SLOViolations: 2, MigrationMB: 10}, // 1: on front
+		{SLOViolations: 5, MigrationMB: 2},  // 2: on front (trade-off)
+		{SLOViolations: 2, MigrationMB: 10}, // 3: duplicate of 1 — both stay
+		{SLOViolations: 9, MigrationMB: 99}, // 4: dominated by everything
+	}
+	got := Front(cs)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Front = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Front = %v, want %v", got, want)
+		}
+	}
+	// Single-objective tie on the only differing axis: both on front.
+	tie := Front([]Components{{MigrationMB: 5}, {MigrationMB: 5}})
+	if len(tie) != 2 {
+		t.Errorf("single-objective tie front = %v, want both", tie)
+	}
+}
+
+func TestWeightsValidatePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative", func() { Weights{SLO: -1, MigrationMB: 1}.Validate() })
+	mustPanic("all zero", func() { Weights{}.Validate() })
+	mustPanic("score with bad weights", func() { Components{}.Score(Weights{Oscillation: -0.5}) })
+	// Sane weights must not panic.
+	DefaultWeights().Validate()
+	Weights{SLO: 1}.Validate()
+}
+
+func TestScore(t *testing.T) {
+	c := Components{SLOViolations: 2, MigrationMB: 10, InstanceSeconds: 100, Oscillations: 1}
+	w := Weights{SLO: 1, MigrationMB: 0.1, InstanceSeconds: 0.01, Oscillation: 5}
+	if got, want := c.Score(w), 2+1+1+5.0; got != want {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+	// Zeroing an axis removes its contribution.
+	if got := c.Score(Weights{SLO: 1}); got != 2 {
+		t.Errorf("SLO-only score = %v, want 2", got)
+	}
+}
+
+// BenchmarkFitnessScore is gated in bench_baseline.json: scoring sits inside
+// the search's candidate-evaluation loop, so a regression multiplies across
+// every (candidate × seed) cell of a sweep.
+func BenchmarkFitnessScore(b *testing.B) {
+	lat := metrics.NewSeries("latency_ms")
+	for at := simtime.Time(0); at < 60*simtime.Time(simtime.Second); at = at.Add(250 * simtime.Millisecond) {
+		v := 20.0
+		if at >= 20*simtime.Time(simtime.Second) && at < 30*simtime.Time(simtime.Second) {
+			v = 45.0
+		}
+		lat.Append(at, v)
+	}
+	ds := make([]control.Decision, 8)
+	for i := range ds {
+		from, to := 4+i, 4+i+2
+		if i%2 == 1 {
+			from, to = to, from
+		}
+		ds[i] = control.Decision{From: from, To: to, Launched: true}
+	}
+	in := Input{
+		Latency:          lat,
+		PreAvgMs:         20,
+		From:             0,
+		To:               60 * simtime.Time(simtime.Second),
+		Decisions:        ds,
+		TransferredBytes: 50_000_000,
+		InstanceSeconds:  720,
+	}
+	w := DefaultWeights()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = Measure(in).Score(w)
+	}
+	_ = sink
+}
